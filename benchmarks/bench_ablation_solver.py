@@ -1,0 +1,55 @@
+"""Ablation — own simplex/B&B backend vs scipy-HiGHS on the same models.
+
+Checks (a) both backends reach the same optimum on small placement MILPs and
+LP relaxations, and (b) times each, documenting why the HiGHS adapter is the
+default for large instances.
+"""
+
+import pytest
+
+from repro.core.ilp import build_placement_model
+from repro.lp import SolveStatus
+from repro.lp import solve as lp_solve
+from repro.traffic import WorkloadConfig, make_instance
+from repro.core.spec import SwitchSpec
+
+
+def _small_instance(seed):
+    switch = SwitchSpec(
+        stages=3, blocks_per_stage=6, block_bits=64_000, rule_bits=64,
+        capacity_gbps=100.0,
+    )
+    return make_instance(
+        WorkloadConfig(num_sfcs=3, num_types=4, avg_chain_length=2,
+                       chain_length_spread=1),
+        switch=switch,
+        max_recirculations=1,
+        rng=seed,
+    )
+
+
+@pytest.mark.parametrize("backend", ["own", "scipy"])
+def test_lp_relaxation_backend(benchmark, backend):
+    instance = _small_instance(4)
+    ilp = build_placement_model(instance)
+
+    solution = benchmark(lambda: lp_solve(ilp.model, backend=backend, relax=True))
+    assert solution.status is SolveStatus.OPTIMAL
+    reference = lp_solve(ilp.model, backend="scipy", relax=True)
+    assert abs(solution.objective - reference.objective) < 1e-5
+
+
+@pytest.mark.parametrize("backend", ["own", "scipy"])
+def test_milp_backend(benchmark, backend):
+    instance = _small_instance(4)
+    ilp = build_placement_model(instance)
+
+    solution = benchmark.pedantic(
+        lambda: lp_solve(ilp.model, backend=backend, time_limit=120.0),
+        rounds=1,
+        iterations=1,
+    )
+    assert solution.status in (SolveStatus.OPTIMAL, SolveStatus.TIME_LIMIT)
+    reference = lp_solve(ilp.model, backend="scipy")
+    if solution.status is SolveStatus.OPTIMAL:
+        assert abs(solution.objective - reference.objective) < 1e-5

@@ -1,0 +1,43 @@
+"""Microbenchmarks of the functional data plane itself.
+
+Not a paper figure: measures the simulator's packet-processing rate and the
+placement state's probe cost, so regressions in the hot paths (table lookup,
+``PipelineState.fits``) are visible over time.
+"""
+
+from repro.core.state import PipelineState
+from repro.experiments.fig4_throughput import build_demo_pipeline
+from repro.traffic import WorkloadConfig, make_instance
+from repro.traffic.flows import FlowGenerator
+
+
+def test_pipeline_packet_rate(benchmark):
+    pipeline, _virt = build_demo_pipeline(seed=1)
+    gen = FlowGenerator(1)
+    flows = gen.flows(64, tenant_id=1)
+
+    def process():
+        # Re-arm per-round: recirculation state is per-packet, so packets
+        # must be fresh copies each time.
+        batch = gen.packets(flows, 64, size_bytes=64)
+        return pipeline.process_batch(batch)
+
+    results = benchmark(process)
+    assert all(r.delivered or r.packet.dropped for r in results)
+
+
+def test_state_fits_probe_rate(benchmark):
+    instance = make_instance(WorkloadConfig(num_sfcs=30), rng=3)
+    state = PipelineState(instance)
+    for i in range(instance.num_types):
+        state.add_logical_nf(i, i % instance.switch.stages, 500)
+
+    def probe():
+        hits = 0
+        for i in range(instance.num_types):
+            for s in range(instance.switch.stages):
+                hits += state.fits(i, s, 700)
+        return hits
+
+    hits = benchmark(probe)
+    assert hits > 0

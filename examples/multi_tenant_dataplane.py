@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Multi-tenant data plane walkthrough (the paper's §IV / Fig. 3 scenario).
+
+Builds a 3-stage pipeline hosting physical NFs (firewall, traffic
+classifier, load balancer), then installs two tenants' logical SFCs:
+
+* tenant 1: FW -> TC -> LB  — matches the physical order, fits one pass,
+* tenant 2: FW -> LB -> TC  — out of order, folds into two passes with the
+  last NF of pass 1 setting the REC argument.
+
+Sends both tenants' traffic and shows isolation: each tenant's packets are
+processed only by its own rules (tenant 2's firewall deny does not affect
+tenant 1), and recirculation happens exactly for tenant 2.
+
+Run:  python examples/multi_tenant_dataplane.py
+"""
+
+from repro.core.spec import SwitchSpec
+from repro.dataplane import SwitchPipeline
+from repro.dataplane.table import TableEntry
+from repro.dataplane.virtualization import LogicalNF, LogicalSFC, SFCVirtualizer
+from repro.nfs import install_physical_nf
+
+
+def wildcard(action: str, **params) -> TableEntry:
+    """A tenant-wide rule matching all of the tenant's traffic."""
+    return TableEntry(match={}, action=action, params=params)
+
+
+def main() -> None:
+    # --- boot: physical pipeline (static) ----------------------------
+    spec = SwitchSpec(stages=3, blocks_per_stage=8)
+    pipeline = SwitchPipeline(spec=spec, max_passes=3)
+    for stage, nf in enumerate(("firewall", "traffic_classifier", "load_balancer")):
+        install_physical_nf(pipeline, nf, stage)
+    print(f"booted: {pipeline}")
+    virtualizer = SFCVirtualizer(pipeline)
+
+    # --- tenant 1: FW -> TC -> LB (physical order, single pass) ---------
+    tenant1 = LogicalSFC(
+        tenant_id=1,
+        nfs=(
+            LogicalNF("firewall", (wildcard("permit"),)),
+            LogicalNF("traffic_classifier", (wildcard("set_dscp", dscp=46),)),
+            LogicalNF("load_balancer", (wildcard("set_dst", dst_ip=0x0AC80001),)),
+        ),
+    )
+    record1 = virtualizer.install_sfc(tenant1)
+    print(f"tenant 1 installed at virtual stages {record1.assignment} "
+          f"({virtualizer.tenant_passes(1)} pass(es))")
+
+    # --- tenant 2: FW -> LB -> TC; TC must wait for pass 2 --------------
+    tenant2 = LogicalSFC(
+        tenant_id=2,
+        nfs=(
+            LogicalNF("firewall", (
+                # Deny tenant 2's TCP port-23 traffic, permit the rest.
+                TableEntry(match={"dst_port": (23, 23)}, action="drop", priority=10),
+                wildcard("permit"),
+            )),
+            LogicalNF("load_balancer", (wildcard("set_dst", dst_ip=0x0AC80002),)),
+            LogicalNF("traffic_classifier", (wildcard("set_dscp", dscp=10),)),
+        ),
+    )
+    record2 = virtualizer.install_sfc(tenant2)
+    print(f"tenant 2 installed at virtual stages {record2.assignment} "
+          f"({virtualizer.tenant_passes(2)} pass(es))")
+
+    # --- traffic ---------------------------------------------------------
+    from repro.dataplane.packet import Packet
+
+    web1 = Packet(tenant_id=1, dst_port=80)
+    web2 = Packet(tenant_id=2, dst_port=80)
+    telnet2 = Packet(tenant_id=2, dst_port=23)
+
+    for name, packet in (("t1 web", web1), ("t2 web", web2), ("t2 telnet", telnet2)):
+        result = pipeline.process(packet, trace=True)
+        applied = ", ".join(
+            f"p{p}:{t.split('@')[0]}" for (p, _s, t, a) in result.trace if a != "no_op"
+        )
+        print(f"{name:10} delivered={result.delivered!s:5} "
+              f"passes={result.passes} dscp={packet.dscp:2d} "
+              f"dst={packet.dst_ip:#010x} | {applied}")
+
+    # Isolation checks.
+    assert web1.dscp == 46 and web2.dscp == 10, "DSCP marks are per-tenant"
+    assert web1.dst_ip != web2.dst_ip, "LB pools are per-tenant"
+    assert not web1.dropped and telnet2.dropped, "tenant 2's ACL is isolated"
+    assert pipeline.process(Packet(tenant_id=1, dst_port=80)).passes == 1
+    assert pipeline.process(Packet(tenant_id=2, dst_port=80)).passes == 2
+
+    # --- tenant departure -------------------------------------------------
+    virtualizer.uninstall_sfc(2)
+    survivor = pipeline.process(Packet(tenant_id=1, dst_port=80))
+    leftover = pipeline.process(Packet(tenant_id=2, dst_port=80))
+    print(f"after tenant 2 leaves: t1 dscp still set "
+          f"({survivor.packet.dscp}), t2 traffic untouched "
+          f"(passes={leftover.passes}, dscp={leftover.packet.dscp})")
+    assert survivor.packet.dscp == 46
+    assert leftover.passes == 1 and leftover.packet.dscp == 0
+
+
+if __name__ == "__main__":
+    main()

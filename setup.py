@@ -1,0 +1,10 @@
+"""Shim so editable installs work without the ``wheel`` package.
+
+The offline environment ships setuptools 65 without ``wheel``, so
+``pip install -e .`` (PEP 660) cannot build; ``python setup.py develop``
+or a ``.pth`` pointer works instead.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Reproduction of SFP: Service Function Chain Provision on Programmable
+Switches for Cloud Tenants (IPPS 2022).
+
+Subpackages
+-----------
+``repro.lp``
+    From-scratch LP/MILP modeling + solvers (the Gurobi stand-in).
+``repro.core``
+    The paper's contribution: joint physical/logical NF placement (ILP,
+    LP-relaxation rounding, greedy baseline, runtime update).
+``repro.dataplane``
+    Programmable-switch pipeline simulator (match-action tables, stages,
+    recirculation, SFC virtualization, resource accounting).
+``repro.p4``
+    P4-like program IR with table dependency analysis and stage allocation.
+``repro.nfs``
+    Library of P4-style network functions (firewall, LB, classifier, ...).
+``repro.baseline``
+    Software (DPDK-on-server) SFC cost model used as the Fig. 4/5 baseline.
+``repro.traffic``
+    Synthetic workload/traffic generation per the paper's §VI-A recipe.
+``repro.experiments``
+    One runner per evaluation figure (Fig. 4-11).
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

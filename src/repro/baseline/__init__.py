@@ -1,0 +1,21 @@
+"""Software (DPDK-on-server) SFC baseline.
+
+The paper's Fig. 4/5 baseline runs the same 4-NF chain on a DPDK-accelerated
+server (16 of 56 cores).  No testbed is available here, so this package
+models the two mechanisms those figures measure:
+
+* the CPU chain is **packets-per-second bound** — throughput scales with
+  packet size and caps at the core budget's pps, reaching line rate only for
+  near-MTU packets (Fig. 4);
+* software processing adds **per-NF CPU latency plus NIC/PCIe crossings**,
+  ≈3x the switch ASIC (Fig. 5), growing further near saturation (queueing).
+
+Calibration targets (from §VI-B): 64 B packets ≥10x slower than the switch,
+100 Gbps reached only at 1500 B, average latency ≈1151 ns, 722 MB memory and
+30.35 % CPU (17/56 cores) for the 4-NF chain.
+"""
+
+from repro.baseline.cpu import CpuSpec, ServerSpec
+from repro.baseline.dpdk import DpdkChainModel
+
+__all__ = ["CpuSpec", "DpdkChainModel", "ServerSpec"]

@@ -1,0 +1,69 @@
+"""Server and CPU cost specifications for the software baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """One CPU's clock and the per-packet cycle costs of the NF runtime.
+
+    Cycle costs follow the usual run-to-completion decomposition: a fixed
+    I/O cost per packet (mbuf handling, RX/TX bursts) plus a per-NF
+    processing cost.  Defaults are calibrated so a 16-core 2.2 GHz budget
+    running a 4-NF chain lands on the paper's Fig. 4 shape (see
+    :mod:`repro.baseline.dpdk`).
+    """
+
+    freq_hz: float = 2.2e9
+    io_cycles_per_packet: float = 900.0
+    nf_cycles_per_packet: float = 650.0
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0:
+            raise WorkloadError("CPU frequency must be positive")
+        if self.io_cycles_per_packet < 0 or self.nf_cycles_per_packet < 0:
+            raise WorkloadError("cycle costs must be non-negative")
+
+    def cycles_per_packet(self, chain_length: int) -> float:
+        """Per-packet cycles for a chain of ``chain_length`` NFs."""
+        if chain_length < 0:
+            raise WorkloadError("chain length must be >= 0")
+        return self.io_cycles_per_packet + chain_length * self.nf_cycles_per_packet
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """The testbed server (§VI-A): 4x Xeon Gold 5120T, 56 usable cores,
+    192 GB RAM, 100 Gbps ConnectX-5."""
+
+    total_cores: int = 56
+    worker_cores: int = 16
+    #: DPDK master/management core (the paper counts 17/56 total).
+    master_cores: int = 1
+    cpu: CpuSpec = CpuSpec()
+    nic_gbps: float = 100.0
+    #: Measured by the paper for the 4-NF chain.
+    sfc_memory_mb: float = 722.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.worker_cores + self.master_cores <= self.total_cores:
+            raise WorkloadError(
+                f"{self.worker_cores}+{self.master_cores} cores exceed "
+                f"{self.total_cores}"
+            )
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Fraction of server cores the SFC deployment occupies (the paper's
+        30.35 % = 17/56)."""
+        return (self.worker_cores + self.master_cores) / self.total_cores
+
+    def max_pps(self, chain_length: int) -> float:
+        """Aggregate worker packet rate for a chain of ``chain_length`` NFs."""
+        return self.worker_cores * self.cpu.freq_hz / self.cpu.cycles_per_packet(
+            chain_length
+        )

@@ -1,0 +1,180 @@
+"""Command-line interface.
+
+``sfp fig4`` .. ``sfp fig11`` regenerate each evaluation figure; ``sfp
+place`` runs a placement algorithm over a synthesized workload; ``sfp demo``
+walks a packet through a virtualized chain.  ``--quick`` shrinks the
+paper-scale sweeps to seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._version import __version__
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+    parser.add_argument(
+        "--quick", action="store_true", help="shrunk sweep for a fast run"
+    )
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fig4_throughput,
+        fig5_latency,
+        fig6_num_sfcs,
+        fig7_recirculation,
+        fig8_solver_runtime,
+        fig9_early_termination,
+        fig10_algorithms,
+        fig11_runtime_update,
+    )
+
+    quick = args.quick
+    name = args.command
+    if name == "fig4":
+        result = fig4_throughput.run(seed=args.seed)
+    elif name == "fig5":
+        result = fig5_latency.run(seed=args.seed)
+    elif name == "fig6":
+        result = fig6_num_sfcs.run(
+            l_values=(10, 20, 30) if quick else (10, 20, 30, 40, 50),
+            trials=1 if quick else 5,
+            seed=args.seed,
+        )
+    elif name == "fig7":
+        result = fig7_recirculation.run(
+            recirculations=(0, 1, 2) if quick else (0, 1, 2, 3, 4, 5, 6),
+            trials=1 if quick else 5,
+            seed=args.seed,
+        )
+    elif name == "fig8":
+        result = fig8_solver_runtime.run(
+            l_values=(5, 10, 15) if quick else (10, 20, 30, 40, 50),
+            ilp_time_limit=30.0 if quick else 300.0,
+            seed=args.seed,
+        )
+    elif name == "fig9":
+        result = fig9_early_termination.run(
+            time_limits=(1.0, 5.0, 20.0) if quick else (5.0, 10.0, 20.0, 30.0, 60.0),
+            num_sfcs=15 if quick else 25,
+            seed=args.seed,
+        )
+    elif name == "fig10":
+        result = fig10_algorithms.run(
+            l_values=(10, 20, 30) if quick else (10, 20, 30, 40, 50, 60),
+            ilp_time_limit=30.0 if quick else 300.0,
+            seed=args.seed,
+        )
+    elif name == "fig11":
+        result = fig11_runtime_update.run(
+            drop_rates=(0.2, 0.6, 1.0) if quick else (0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+            seed=args.seed,
+        )
+    else:  # pragma: no cover
+        raise SystemExit(f"unknown figure {name}")
+    result.print()
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.core.greedy import greedy_place
+    from repro.core.ilp import solve_ilp
+    from repro.core.rounding import solve_with_rounding
+    from repro.core.verify import check_placement
+    from repro.experiments.config import PAPER_SWITCH, PAPER_WORKLOAD
+    from repro.traffic.workload import make_instance
+
+    config = replace(PAPER_WORKLOAD, num_sfcs=args.num_sfcs)
+    instance = make_instance(
+        config,
+        switch=PAPER_SWITCH,
+        max_recirculations=args.recirculations,
+        rng=args.seed,
+    )
+    if args.algorithm == "greedy":
+        placement = greedy_place(instance)
+    elif args.algorithm == "appro":
+        placement = solve_with_rounding(instance, rng=args.seed).placement
+    else:
+        placement = solve_ilp(instance, time_limit=args.time_limit)
+    problems = check_placement(placement)
+    print(placement)
+    for key, value in placement.summary().items():
+        print(f"  {key:>18}: {value:.3f}")
+    print(f"  feasibility: {'OK' if not problems else problems}")
+    return 0 if not problems else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    # The CLI always runs quick scale; paper-scale reports go through
+    # `python -m repro.experiments.report --paper-scale`.
+    text = generate_report(quick=True, seed=args.seed if args.seed is not None else 11)
+    with open(args.output, "w") as fh:
+        fh.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.experiments.fig4_throughput import build_demo_pipeline
+    from repro.traffic.flows import FlowGenerator
+
+    pipeline, virtualizer = build_demo_pipeline(args.seed)
+    gen = FlowGenerator(args.seed)
+    flow = gen.flows(1, tenant_id=1)[0]
+    result = pipeline.process(flow.make_packet(64), trace=True)
+    print(f"pipeline: {pipeline}")
+    print(f"packet delivered={result.delivered} passes={result.passes} "
+          f"latency={result.latency_ns:.0f}ns")
+    for pass_id, stage, table, action in result.trace:
+        print(f"  pass {pass_id} stage {stage}: {table} -> {action}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="sfp",
+        description="SFP reproduction: SFC provision on programmable switches",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for fig in ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"):
+        p = sub.add_parser(fig, help=f"regenerate {fig}")
+        _add_common(p)
+        p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("place", help="run one placement algorithm")
+    _add_common(p)
+    p.add_argument("--algorithm", choices=("ilp", "appro", "greedy"), default="appro")
+    p.add_argument("--num-sfcs", type=int, default=25)
+    p.add_argument("--recirculations", type=int, default=2)
+    p.add_argument("--time-limit", type=float, default=60.0)
+    p.set_defaults(func=_cmd_place)
+
+    p = sub.add_parser("demo", help="trace a packet through a virtualized chain")
+    _add_common(p)
+    p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser(
+        "report", help="run all figures and write the EXPERIMENTS.md report"
+    )
+    _add_common(p)
+    p.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    p.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

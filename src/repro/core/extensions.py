@@ -1,0 +1,166 @@
+"""Extensions the paper sketches in §III and §VII.
+
+* **Sub-NF expansion** (§III "If one NF spans multiple stages, it is viewed
+  as several sub-NFs"; §VII "Multiple-table NFs").  Given per-type stage
+  spans — typically produced by the :mod:`repro.p4` allocator from the NF's
+  real table structure — each logical NF occupying ``span`` stages is
+  rewritten as ``span`` consecutive sub-NFs of synthetic types, and the
+  physical catalog grows accordingly.  The expanded instance solves with the
+  unmodified placement machinery; :func:`collapse_assignment` maps a
+  solution back to original chain positions.
+
+* **NF state accounting** (§VII "NF States ... SFP could be further
+  extended to account for NF states whose size should be fixed as well as
+  MATs").  States live in the same SRAM as the match-action tables, so a
+  per-type fixed state footprint is accounted by charging it as additional
+  entries on every logical NF of that type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.placement import NFAssignment, Placement
+from repro.core.spec import SFC, ProblemInstance
+from repro.errors import PlacementError
+
+
+# ----------------------------------------------------------------------
+# NF state accounting
+# ----------------------------------------------------------------------
+def account_nf_state(
+    instance: ProblemInstance, state_entries_by_type: dict[int, int]
+) -> ProblemInstance:
+    """Charge each logical NF its type's fixed state footprint (in entry
+    units, i.e. ``state_bits / b``) on top of its rules.
+
+    The placement model's memory constraint then covers rules *and* state,
+    exactly the §VII extension.
+    """
+    for type_id, extra in state_entries_by_type.items():
+        if type_id < 1 or type_id > instance.num_types:
+            raise PlacementError(f"state for unknown NF type {type_id}")
+        if extra < 0:
+            raise PlacementError(f"negative state footprint for type {type_id}")
+    new_sfcs = []
+    for sfc in instance.sfcs:
+        rules = tuple(
+            r + state_entries_by_type.get(t, 0)
+            for t, r in zip(sfc.nf_types, sfc.rules)
+        )
+        new_sfcs.append(
+            SFC(
+                name=sfc.name,
+                tenant_id=sfc.tenant_id,
+                nf_types=sfc.nf_types,
+                rules=rules,
+                bandwidth_gbps=sfc.bandwidth_gbps,
+            )
+        )
+    return instance.with_sfcs(new_sfcs)
+
+
+# ----------------------------------------------------------------------
+# Sub-NF expansion
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SubNFExpansion:
+    """Bookkeeping of an expansion: the new instance plus the maps needed to
+    interpret its solutions in terms of the original one."""
+
+    original: ProblemInstance
+    expanded: ProblemInstance
+    #: original type id -> tuple of synthetic sub-type ids (len = span).
+    subtypes: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    #: per (chain, original position) -> slice of expanded positions.
+    position_map: dict[tuple[int, int], tuple[int, ...]] = field(default_factory=dict)
+
+
+def expand_multi_stage_nfs(
+    instance: ProblemInstance, spans: dict[int, int]
+) -> SubNFExpansion:
+    """Expand NF types spanning several stages into chains of sub-NFs.
+
+    ``spans`` maps type id -> number of stages the type's tables occupy
+    (types omitted or with span 1 are untouched).  Each affected logical
+    NF's rules are attributed to its first sub-NF (the "big table"; the
+    paper notes the auxiliary tables contribute little to resource
+    contention), while the later sub-NFs get zero-entry placeholders that
+    still occupy a stage slot and preserve ordering.
+    """
+    for type_id, span in spans.items():
+        if type_id < 1 or type_id > instance.num_types:
+            raise PlacementError(f"span for unknown NF type {type_id}")
+        if span < 1:
+            raise PlacementError(f"span for type {type_id} must be >= 1")
+
+    subtypes: dict[int, tuple[int, ...]] = {}
+    next_type = instance.num_types + 1
+    for i in range(1, instance.num_types + 1):
+        span = spans.get(i, 1)
+        if span == 1:
+            subtypes[i] = (i,)
+        else:
+            extra = tuple(range(next_type, next_type + span - 1))
+            subtypes[i] = (i,) + extra
+            next_type += span - 1
+    total_types = next_type - 1
+
+    position_map: dict[tuple[int, int], tuple[int, ...]] = {}
+    new_sfcs: list[SFC] = []
+    for l, sfc in enumerate(instance.sfcs):
+        types: list[int] = []
+        rules: list[int] = []
+        for j, (t, r) in enumerate(zip(sfc.nf_types, sfc.rules)):
+            parts = subtypes[t]
+            start = len(types)
+            types.extend(parts)
+            rules.append(r)
+            rules.extend(0 for _ in parts[1:])
+            position_map[(l, j)] = tuple(range(start, start + len(parts)))
+        new_sfcs.append(
+            SFC(
+                name=sfc.name,
+                tenant_id=sfc.tenant_id,
+                nf_types=tuple(types),
+                rules=tuple(rules),
+                bandwidth_gbps=sfc.bandwidth_gbps,
+            )
+        )
+
+    expanded = ProblemInstance(
+        switch=instance.switch,
+        sfcs=tuple(new_sfcs),
+        num_types=total_types,
+        max_recirculations=instance.max_recirculations,
+    )
+    return SubNFExpansion(
+        original=instance,
+        expanded=expanded,
+        subtypes=subtypes,
+        position_map=position_map,
+    )
+
+
+def collapse_assignment(
+    expansion: SubNFExpansion, placement: Placement
+) -> dict[int, tuple[int, ...]]:
+    """Map an expanded placement's assignments back to original chain
+    positions: each original NF's stage is its *first* sub-NF's stage.
+
+    Returns ``{chain index: stages per original position}`` for placed
+    chains.  (A full :class:`Placement` over the original instance is not
+    reconstructed because the original catalog has no physical layout for
+    the synthetic sub-types.)
+    """
+    if placement.instance is not expansion.expanded:
+        raise PlacementError("placement does not belong to this expansion")
+    out: dict[int, tuple[int, ...]] = {}
+    for l, asg in placement.assignments.items():
+        original = expansion.original.sfcs[l]
+        stages = []
+        for j in range(original.length):
+            first = expansion.position_map[(l, j)][0]
+            stages.append(asg.stages[first])
+        out[l] = tuple(stages)
+    return out

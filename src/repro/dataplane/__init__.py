@@ -1,0 +1,61 @@
+"""Programmable-switch data plane simulator.
+
+A functional model of a Tofino-class match-action pipeline, rich enough to
+execute the paper's data-plane design end to end:
+
+* packets with parsed header fields and per-packet metadata
+  (:mod:`repro.dataplane.packet`),
+* match-action tables with exact/ternary/LPM/range matching and priorities
+  (:mod:`repro.dataplane.table`), action primitives
+  (:mod:`repro.dataplane.action`),
+* MAU stages with SRAM block accounting (:mod:`repro.dataplane.stage`,
+  :mod:`repro.dataplane.resources`),
+* a multi-pass pipeline with recirculation (:mod:`repro.dataplane.pipeline`),
+* the SFP virtualization layer that folds logical SFCs onto physical NFs with
+  tenant-ID/pass match fields and REC actions
+  (:mod:`repro.dataplane.virtualization`),
+* a P4Runtime-style entry CRUD API (:mod:`repro.dataplane.runtime_api`),
+* the calibrated ASIC latency/throughput model (:mod:`repro.dataplane.latency`).
+"""
+
+from repro.dataplane.action import ActionCall, default_actions
+from repro.dataplane.latency import AsicModel
+from repro.dataplane.packet import Packet, PacketResult
+from repro.dataplane.parser import build_frame, build_vxlan_frame, parse_packet
+from repro.dataplane.registers import (
+    CounterArray,
+    MeterArray,
+    MeterColor,
+    RegisterArray,
+)
+from repro.dataplane.pipeline import SwitchPipeline
+from repro.dataplane.resources import StageResources
+from repro.dataplane.runtime_api import RuntimeAPI, WriteOp
+from repro.dataplane.stage import Stage
+from repro.dataplane.table import MatchActionTable, MatchKind, TableEntry
+from repro.dataplane.virtualization import SFCVirtualizer, install_sfc
+
+__all__ = [
+    "ActionCall",
+    "AsicModel",
+    "CounterArray",
+    "MatchActionTable",
+    "MatchKind",
+    "MeterArray",
+    "MeterColor",
+    "Packet",
+    "PacketResult",
+    "RegisterArray",
+    "RuntimeAPI",
+    "SFCVirtualizer",
+    "Stage",
+    "StageResources",
+    "SwitchPipeline",
+    "TableEntry",
+    "WriteOp",
+    "build_frame",
+    "build_vxlan_frame",
+    "default_actions",
+    "install_sfc",
+    "parse_packet",
+]

@@ -1,0 +1,90 @@
+"""Calibrated ASIC performance model.
+
+The functional pipeline decides *what* happens to packets; this model
+supplies the *how fast*, calibrated to the paper's testbed numbers (§VI-B):
+
+* 4-NF chain, one pass: **≈341 ns** average processing latency;
+* three recirculations add **≈35 ns** total (the paper's key observation:
+  latency tracks SFC complexity, not recirculation count, because each
+  recirculated pass applies fewer NFs);
+* throughput: the ASIC is never pps-bound at port speeds — a Tofino-class
+  pipeline sustains billions of packets per second, so a 100 Gbps port
+  saturates at every packet size (Fig. 4's flat SFP line).
+
+Defaults: parser 70 ns + deparser 71 ns + 8 stages x 25 ns = 341 ns, and
+11.7 ns per recirculation (3 x 11.7 ≈ 35 ns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.core.spec import SwitchSpec
+from repro.errors import DataPlaneError
+
+
+@dataclass(frozen=True)
+class AsicModel:
+    """Latency/throughput model of the switching ASIC."""
+
+    stages: int = 8
+    parser_ns: float = 70.0
+    deparser_ns: float = 71.0
+    stage_ns: float = 25.0
+    recirculation_ns: float = 11.7
+    #: Aggregate pipeline packet rate (packets/s) — Tofino-class ASICs
+    #: process a packet per clock per pipe (> 10^9 pps).
+    pipeline_pps: float = 4.8e9
+    #: Single-port line rate (the testbed's 100 Gbps ports).
+    port_gbps: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.stages < 1:
+            raise DataPlaneError("stages must be >= 1")
+        if min(self.parser_ns, self.deparser_ns, self.stage_ns) < 0:
+            raise DataPlaneError("latency components must be non-negative")
+
+    @classmethod
+    def from_spec(cls, spec: SwitchSpec) -> "AsicModel":
+        return cls(
+            stages=spec.stages,
+            stage_ns=spec.stage_latency_ns,
+            recirculation_ns=spec.recirculation_latency_ns,
+        )
+
+    # ------------------------------------------------------------------
+    def latency_ns(self, passes: int = 1) -> float:
+        """Processing latency of one packet making ``passes`` traversals."""
+        if passes < 1:
+            raise DataPlaneError("passes must be >= 1")
+        return (
+            self.parser_ns
+            + self.deparser_ns
+            + self.stages * self.stage_ns
+            + (passes - 1) * self.recirculation_ns
+        )
+
+    # ------------------------------------------------------------------
+    def max_pps(self, passes: int = 1) -> float:
+        """Packet rate the pipeline sustains when each packet consumes
+        ``passes`` slots (recirculated traffic competes with inbound)."""
+        if passes < 1:
+            raise DataPlaneError("passes must be >= 1")
+        return self.pipeline_pps / passes
+
+    def throughput_gbps(
+        self, offered_gbps: float, packet_bytes: int, passes: int = 1
+    ) -> float:
+        """Achieved throughput for ``offered_gbps`` of ``packet_bytes``
+        packets: bounded by the port line rate and (in principle) the
+        pipeline's packet rate, which never binds at port speeds."""
+        if offered_gbps < 0:
+            raise DataPlaneError("offered load must be >= 0")
+        offered_pps = units.gbps_to_pps(offered_gbps, packet_bytes)
+        achieved_pps = min(offered_pps, self.max_pps(passes))
+        return min(
+            units.pps_to_gbps(achieved_pps, packet_bytes),
+            offered_gbps,
+            self.port_gbps,
+        )

@@ -1,0 +1,260 @@
+"""Byte-level packet parser / deparser.
+
+The paper assumes "tenant traffic can be classified by header fields ...
+VLAN, VxLAN, GRE, etc." (§III).  This module grounds that assumption: it
+parses real byte strings — Ethernet / (optional 802.1Q VLAN) / IPv4 /
+(TCP | UDP), with UDP port 4789 recognized as VxLAN whose VNI becomes the
+tenant ID, and an inner Ethernet/IPv4/L4 frame parsed as the tenant packet —
+into the :class:`~repro.dataplane.packet.Packet` the pipeline matches on,
+and deparses packets back to bytes (the egress side).
+
+The parse graph mirrors a P4 parser: a state machine over header types with
+explicit extract offsets; unknown ethertypes/protocols raise
+:class:`~repro.errors.DataPlaneError` like a P4 parser reject.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.dataplane.packet import Packet
+from repro.errors import DataPlaneError
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_VLAN = 0x8100
+PROTO_TCP = 6
+PROTO_UDP = 17
+VXLAN_PORT = 4789
+
+ETH_LEN = 14
+VLAN_LEN = 4
+IPV4_MIN_LEN = 20
+UDP_LEN = 8
+TCP_MIN_LEN = 20
+VXLAN_LEN = 8
+
+
+@dataclass(frozen=True)
+class ParsedHeaders:
+    """Which headers the parser walked, for tests and tracing."""
+
+    stack: tuple[str, ...]
+    vlan_id: int | None = None
+    vni: int | None = None
+
+
+def _require(data: bytes, offset: int, need: int, header: str) -> None:
+    if len(data) < offset + need:
+        raise DataPlaneError(
+            f"truncated packet: {header} needs {need} bytes at offset "
+            f"{offset}, only {len(data) - offset} available"
+        )
+
+
+def _parse_l4(data: bytes, offset: int, protocol: int) -> tuple[int, int, int]:
+    """Returns (src_port, dst_port, next_offset)."""
+    if protocol == PROTO_TCP:
+        _require(data, offset, TCP_MIN_LEN, "tcp")
+        src, dst = struct.unpack_from("!HH", data, offset)
+        data_offset = (data[offset + 12] >> 4) * 4
+        if data_offset < TCP_MIN_LEN:
+            raise DataPlaneError(f"bad TCP data offset {data_offset}")
+        return src, dst, offset + data_offset
+    if protocol == PROTO_UDP:
+        _require(data, offset, UDP_LEN, "udp")
+        src, dst = struct.unpack_from("!HH", data, offset)
+        return src, dst, offset + UDP_LEN
+    raise DataPlaneError(f"unsupported IP protocol {protocol}")
+
+
+def _parse_ipv4(data: bytes, offset: int) -> tuple[int, int, int, int, int, int]:
+    """Returns (src_ip, dst_ip, protocol, dscp, ihl_end, total_len)."""
+    _require(data, offset, IPV4_MIN_LEN, "ipv4")
+    version_ihl = data[offset]
+    if version_ihl >> 4 != 4:
+        raise DataPlaneError(f"not IPv4 (version {version_ihl >> 4})")
+    ihl = (version_ihl & 0x0F) * 4
+    if ihl < IPV4_MIN_LEN:
+        raise DataPlaneError(f"bad IPv4 IHL {ihl}")
+    _require(data, offset, ihl, "ipv4 options")
+    dscp = data[offset + 1] >> 2
+    total_len = struct.unpack_from("!H", data, offset + 2)[0]
+    protocol = data[offset + 9]
+    src_ip, dst_ip = struct.unpack_from("!II", data, offset + 12)
+    return src_ip, dst_ip, protocol, dscp, offset + ihl, total_len
+
+
+def parse_packet(data: bytes, default_tenant: int = 0) -> tuple[Packet, ParsedHeaders]:
+    """Parse wire bytes into a pipeline :class:`Packet`.
+
+    Tenant classification (§III "we uniformly call these header fields
+    tenant ID"), in priority order:
+
+    1. VxLAN VNI, when the outer L4 is UDP :4789 — the inner frame's
+       5-tuple populates the packet;
+    2. 802.1Q VLAN ID;
+    3. ``default_tenant`` otherwise.
+    """
+    _require(data, 0, ETH_LEN, "ethernet")
+    ethertype = struct.unpack_from("!H", data, 12)[0]
+    offset = ETH_LEN
+    stack = ["ethernet"]
+    vlan_id = None
+    if ethertype == ETHERTYPE_VLAN:
+        _require(data, offset, VLAN_LEN, "vlan")
+        tci, ethertype = struct.unpack_from("!HH", data, offset)
+        vlan_id = tci & 0x0FFF
+        offset += VLAN_LEN
+        stack.append("vlan")
+    if ethertype != ETHERTYPE_IPV4:
+        raise DataPlaneError(f"unsupported ethertype {ethertype:#06x}")
+
+    src_ip, dst_ip, protocol, dscp, offset, _total = _parse_ipv4(data, offset)
+    stack.append("ipv4")
+    src_port, dst_port, offset = _parse_l4(data, offset, protocol)
+    stack.append("tcp" if protocol == PROTO_TCP else "udp")
+
+    vni = None
+    if protocol == PROTO_UDP and dst_port == VXLAN_PORT:
+        _require(data, offset, VXLAN_LEN, "vxlan")
+        flags = data[offset]
+        if not flags & 0x08:
+            raise DataPlaneError("VxLAN header without valid-VNI flag")
+        vni = int.from_bytes(data[offset + 4 : offset + 7], "big")
+        offset += VXLAN_LEN
+        stack.append("vxlan")
+        # Inner frame: Ethernet / IPv4 / L4.
+        _require(data, offset, ETH_LEN, "inner ethernet")
+        inner_ethertype = struct.unpack_from("!H", data, offset + 12)[0]
+        if inner_ethertype != ETHERTYPE_IPV4:
+            raise DataPlaneError(
+                f"unsupported inner ethertype {inner_ethertype:#06x}"
+            )
+        offset += ETH_LEN
+        stack.append("inner_ethernet")
+        src_ip, dst_ip, protocol, dscp, offset, _t = _parse_ipv4(data, offset)
+        stack.append("inner_ipv4")
+        src_port, dst_port, offset = _parse_l4(data, offset, protocol)
+        stack.append("inner_tcp" if protocol == PROTO_TCP else "inner_udp")
+
+    if vni is not None:
+        tenant = vni
+    elif vlan_id is not None:
+        tenant = vlan_id
+    else:
+        tenant = default_tenant
+
+    packet = Packet(
+        tenant_id=tenant,
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=dst_port,
+        protocol=protocol,
+        dscp=dscp,
+        size_bytes=max(len(data), 1),
+    )
+    return packet, ParsedHeaders(stack=tuple(stack), vlan_id=vlan_id, vni=vni)
+
+
+# ----------------------------------------------------------------------
+# Deparser / frame builders (also used by tests and trace replay)
+# ----------------------------------------------------------------------
+def build_ipv4_l4(
+    src_ip: int,
+    dst_ip: int,
+    src_port: int,
+    dst_port: int,
+    protocol: int = PROTO_TCP,
+    dscp: int = 0,
+    payload: bytes = b"",
+) -> bytes:
+    """IPv4 + TCP/UDP bytes (no Ethernet)."""
+    if protocol == PROTO_TCP:
+        l4 = struct.pack(
+            "!HHIIBBHHH", src_port, dst_port, 0, 0, 5 << 4, 0, 8192, 0, 0
+        )
+    elif protocol == PROTO_UDP:
+        l4 = struct.pack("!HHHH", src_port, dst_port, UDP_LEN + len(payload), 0)
+    else:
+        raise DataPlaneError(f"unsupported protocol {protocol}")
+    total = IPV4_MIN_LEN + len(l4) + len(payload)
+    ip = struct.pack(
+        "!BBHHHBBHII",
+        (4 << 4) | 5,
+        dscp << 2,
+        total,
+        0,
+        0,
+        64,
+        protocol,
+        0,
+        src_ip,
+        dst_ip,
+    )
+    return ip + l4 + payload
+
+
+def build_frame(
+    src_ip: int,
+    dst_ip: int,
+    src_port: int,
+    dst_port: int,
+    protocol: int = PROTO_TCP,
+    dscp: int = 0,
+    vlan_id: int | None = None,
+    payload: bytes = b"",
+) -> bytes:
+    """A full Ethernet frame, optionally 802.1Q tagged."""
+    if vlan_id is not None:
+        if not 0 <= vlan_id <= 0x0FFF:
+            raise DataPlaneError(f"VLAN id {vlan_id} outside [0, 4095]")
+        eth = b"\x02" * 6 + b"\x04" * 6 + struct.pack("!H", ETHERTYPE_VLAN)
+        eth += struct.pack("!HH", vlan_id, ETHERTYPE_IPV4)
+    else:
+        eth = b"\x02" * 6 + b"\x04" * 6 + struct.pack("!H", ETHERTYPE_IPV4)
+    return eth + build_ipv4_l4(src_ip, dst_ip, src_port, dst_port, protocol, dscp, payload)
+
+
+def build_vxlan_frame(
+    vni: int,
+    inner: bytes | None = None,
+    outer_src_ip: int = 0x0A000001,
+    outer_dst_ip: int = 0x0A000002,
+    **inner_fields,
+) -> bytes:
+    """An outer UDP/4789 VxLAN frame carrying ``inner`` (an Ethernet frame
+    built with :func:`build_frame` when ``inner_fields`` are given)."""
+    if not 0 <= vni < 2**24:
+        raise DataPlaneError(f"VNI {vni} outside 24 bits")
+    if inner is None:
+        inner = build_frame(**inner_fields)
+    vxlan = bytes([0x08, 0, 0, 0]) + vni.to_bytes(3, "big") + b"\x00"
+    outer_payload = vxlan + inner
+    outer = build_frame(
+        src_ip=outer_src_ip,
+        dst_ip=outer_dst_ip,
+        src_port=49152,
+        dst_port=VXLAN_PORT,
+        protocol=PROTO_UDP,
+        payload=outer_payload,
+    )
+    return outer
+
+
+def deparse_packet(packet: Packet, vlan_id: int | None = None) -> bytes:
+    """Serialize a pipeline packet back to an Ethernet frame (egress).
+
+    The tenant encapsulation is re-applied as a VLAN tag when requested;
+    re-encapsulating VxLAN is the underlay's job and out of scope here.
+    """
+    return build_frame(
+        src_ip=packet.src_ip,
+        dst_ip=packet.dst_ip,
+        src_port=packet.src_port,
+        dst_port=packet.dst_port,
+        protocol=packet.protocol,
+        dscp=packet.dscp,
+        vlan_id=vlan_id,
+    )

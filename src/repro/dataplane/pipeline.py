@@ -1,0 +1,112 @@
+"""The multi-pass switch pipeline.
+
+Processing semantics (paper §IV): a packet enters at pass 1 and traverses all
+stages in order; if any matched rule carried the REC argument, the packet is
+recirculated — ``pass_id`` is incremented and the packet re-enters at stage
+0 — up to ``max_passes`` total traversals.  Virtualized rules match on
+``(tenant_id, pass_id)``, so each pass executes a different slice of the
+tenant's folded SFC.
+"""
+
+from __future__ import annotations
+
+from repro.core.spec import SwitchSpec
+from repro.dataplane.action import ActionRegistry, default_actions
+from repro.dataplane.latency import AsicModel
+from repro.dataplane.packet import Packet, PacketResult
+from repro.dataplane.resources import StageResources
+from repro.dataplane.stage import Stage
+from repro.errors import DataPlaneError
+
+
+class SwitchPipeline:
+    """A programmable ingress pipeline of ``num_stages`` MAUs."""
+
+    def __init__(
+        self,
+        spec: SwitchSpec | None = None,
+        max_passes: int = 4,
+        actions: ActionRegistry | None = None,
+        latency_model: AsicModel | None = None,
+    ) -> None:
+        self.spec = spec if spec is not None else SwitchSpec()
+        if max_passes < 1:
+            raise DataPlaneError("max_passes must be >= 1")
+        self.max_passes = max_passes
+        self.actions = actions if actions is not None else default_actions()
+        self.latency_model = (
+            latency_model if latency_model is not None else AsicModel.from_spec(self.spec)
+        )
+        self.stages = [
+            Stage(
+                index=s,
+                resources=StageResources(
+                    blocks_total=self.spec.blocks_per_stage,
+                    entries_per_block=self.spec.entries_per_block,
+                ),
+            )
+            for s in range(self.spec.stages)
+        ]
+        #: Packets that exhausted max_passes while still asking to recirculate.
+        self.recirculation_overflows = 0
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def stage(self, index: int) -> Stage:
+        """The MAU at ``index``; raises on out-of-range indices."""
+        if not 0 <= index < self.num_stages:
+            raise DataPlaneError(f"stage index {index} outside [0, {self.num_stages})")
+        return self.stages[index]
+
+    def find_table(self, name: str) -> tuple[Stage, "object"]:
+        """Locate a table by name anywhere in the pipeline."""
+        for stage in self.stages:
+            for table in stage.tables:
+                if table.name == name:
+                    return stage, table
+        raise DataPlaneError(f"no table named {name!r} in the pipeline")
+
+    # ------------------------------------------------------------------
+    def process(self, packet: Packet, trace: bool = False) -> PacketResult:
+        """Push one packet through the pipeline (with recirculation)."""
+        trace_rows: list[tuple[int, int, str, str]] | None = [] if trace else None
+        passes = 0
+        while True:
+            passes += 1
+            packet.recirculate = False
+            for stage in self.stages:
+                if packet.dropped:
+                    break
+                stage.apply(packet, self.actions, packet.pass_id, trace_rows)
+            if packet.dropped or not packet.recirculate:
+                break
+            if passes >= self.max_passes:
+                self.recirculation_overflows += 1
+                break
+            # End-of-pipeline recirculation: REC consumed, pass counter bumped.
+            packet.pass_id += 1
+        result = PacketResult(packet=packet, passes=passes, trace=trace_rows or [])
+        result.latency_ns = self.latency_model.latency_ns(passes=passes)
+        return result
+
+    def process_batch(self, packets: list[Packet], trace: bool = False) -> list[PacketResult]:
+        """Process packets independently (the functional model has no
+        cross-packet contention; throughput is the latency model's job)."""
+        return [self.process(p, trace=trace) for p in packets]
+
+    # ------------------------------------------------------------------
+    def total_entries(self) -> int:
+        """Rule entries installed across all stages' tables."""
+        return sum(t.num_entries for s in self.stages for t in s.tables)
+
+    def blocks_used_by_stage(self) -> list[int]:
+        """SRAM blocks in use per stage (boot reserves + rule growth)."""
+        return [s.resources.blocks_used for s in self.stages]
+
+    def __repr__(self) -> str:
+        return (
+            f"SwitchPipeline(stages={self.num_stages}, max_passes={self.max_passes}, "
+            f"tables={sum(len(s.tables) for s in self.stages)})"
+        )

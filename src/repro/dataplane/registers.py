@@ -1,0 +1,186 @@
+"""Stateful switch primitives: register arrays, counters, and meters.
+
+Programmable switches keep per-flow state in SRAM register arrays read and
+written by the ALUs (§II-A "memory to store persistent states"; §VII "NF
+states are stored in SRAM together with MATs").  This module models the
+three P4 externs the NF library needs:
+
+* :class:`RegisterArray` — fixed-size array of bounded integers with
+  read/modify/write,
+* :class:`CounterArray` — packet/byte counters,
+* :class:`MeterArray` — two-rate token buckets driven by packet timestamps
+  (the real rate limiter, replacing the simplified scratch-space bucket).
+
+Sizes are fixed at allocation time and charged against the owning stage's
+SRAM (§VII: "NF states whose size should be fixed as well as MATs before
+compilation").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataPlaneError
+
+
+class RegisterArray:
+    """A P4 ``register`` extern: N cells of ``width_bits`` unsigned ints."""
+
+    def __init__(self, name: str, size: int, width_bits: int = 32) -> None:
+        if size < 1:
+            raise DataPlaneError(f"register {name!r}: size must be >= 1")
+        if not 1 <= width_bits <= 64:
+            raise DataPlaneError(f"register {name!r}: width must be in [1, 64]")
+        self.name = name
+        self.width_bits = width_bits
+        self._mask = (1 << width_bits) - 1
+        self._cells = np.zeros(size, dtype=np.uint64)
+
+    @property
+    def size(self) -> int:
+        return int(self._cells.shape[0])
+
+    @property
+    def total_bits(self) -> int:
+        """SRAM footprint, for resource accounting."""
+        return self.size * self.width_bits
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise DataPlaneError(
+                f"register {self.name!r}: index {index} outside [0, {self.size})"
+            )
+
+    def read(self, index: int) -> int:
+        """Current value of cell ``index``."""
+        self._check(index)
+        return int(self._cells[index])
+
+    def write(self, index: int, value: int) -> None:
+        """Store ``value`` (masked to the register width) at ``index``."""
+        self._check(index)
+        self._cells[index] = np.uint64(value & self._mask)
+
+    def read_modify_write(self, index: int, fn) -> int:
+        """Atomic RMW as a single-stage ALU would do; returns the new value."""
+        self._check(index)
+        new = fn(int(self._cells[index])) & self._mask
+        self._cells[index] = np.uint64(new)
+        return new
+
+    def clear(self) -> None:
+        """Zero every cell (switch reset)."""
+        self._cells[:] = 0
+
+
+class CounterArray:
+    """A P4 ``counter`` extern: per-index packet and byte counts."""
+
+    def __init__(self, name: str, size: int) -> None:
+        if size < 1:
+            raise DataPlaneError(f"counter {name!r}: size must be >= 1")
+        self.name = name
+        self.packets = np.zeros(size, dtype=np.int64)
+        self.bytes = np.zeros(size, dtype=np.int64)
+
+    @property
+    def size(self) -> int:
+        return int(self.packets.shape[0])
+
+    def count(self, index: int, size_bytes: int) -> None:
+        """Charge one packet of ``size_bytes`` to slot ``index``."""
+        if not 0 <= index < self.size:
+            raise DataPlaneError(
+                f"counter {self.name!r}: index {index} outside [0, {self.size})"
+            )
+        self.packets[index] += 1
+        self.bytes[index] += size_bytes
+
+    def read(self, index: int) -> tuple[int, int]:
+        """``(packets, bytes)`` accumulated at slot ``index``."""
+        if not 0 <= index < self.size:
+            raise DataPlaneError(
+                f"counter {self.name!r}: index {index} outside [0, {self.size})"
+            )
+        return int(self.packets[index]), int(self.bytes[index])
+
+
+class MeterColor(enum.Enum):
+    GREEN = "green"
+    YELLOW = "yellow"
+    RED = "red"
+
+
+@dataclass
+class _Bucket:
+    tokens_c: float  # committed bucket
+    tokens_p: float  # peak bucket
+    last_ns: float
+
+
+class MeterArray:
+    """A P4 ``meter`` extern: srTCM-style two-bucket coloring per index.
+
+    ``execute`` charges ``size_bytes`` at packet timestamp ``now_ns`` and
+    returns GREEN (within committed rate), YELLOW (within peak rate) or RED
+    (exceeds peak; the caller usually drops).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        committed_bps: float,
+        peak_bps: float | None = None,
+        burst_bytes: float = 16_000.0,
+    ) -> None:
+        if size < 1:
+            raise DataPlaneError(f"meter {name!r}: size must be >= 1")
+        if committed_bps <= 0:
+            raise DataPlaneError(f"meter {name!r}: committed rate must be positive")
+        peak_bps = peak_bps if peak_bps is not None else 2 * committed_bps
+        if peak_bps < committed_bps:
+            raise DataPlaneError(f"meter {name!r}: peak rate below committed rate")
+        self.name = name
+        self.committed_Bps = committed_bps / 8.0
+        self.peak_Bps = peak_bps / 8.0
+        self.burst_bytes = float(burst_bytes)
+        self._buckets = [
+            _Bucket(tokens_c=self.burst_bytes, tokens_p=self.burst_bytes, last_ns=0.0)
+            for _ in range(size)
+        ]
+
+    @property
+    def size(self) -> int:
+        return len(self._buckets)
+
+    def execute(self, index: int, size_bytes: int, now_ns: float) -> MeterColor:
+        """Charge a packet at time ``now_ns`` and return its color."""
+        if not 0 <= index < self.size:
+            raise DataPlaneError(
+                f"meter {self.name!r}: index {index} outside [0, {self.size})"
+            )
+        bucket = self._buckets[index]
+        if now_ns < bucket.last_ns:
+            raise DataPlaneError(
+                f"meter {self.name!r}: time went backwards "
+                f"({now_ns} < {bucket.last_ns})"
+            )
+        elapsed_s = (now_ns - bucket.last_ns) / 1e9
+        bucket.tokens_c = min(
+            self.burst_bytes, bucket.tokens_c + elapsed_s * self.committed_Bps
+        )
+        bucket.tokens_p = min(
+            self.burst_bytes, bucket.tokens_p + elapsed_s * self.peak_Bps
+        )
+        bucket.last_ns = now_ns
+        if bucket.tokens_p < size_bytes:
+            return MeterColor.RED
+        bucket.tokens_p -= size_bytes
+        if bucket.tokens_c < size_bytes:
+            return MeterColor.YELLOW
+        bucket.tokens_c -= size_bytes
+        return MeterColor.GREEN

@@ -1,0 +1,125 @@
+"""A P4Runtime-style control API over the pipeline.
+
+The control plane talks to the switch through batched write requests of
+INSERT / MODIFY / DELETE operations on named tables, mirroring the
+P4Runtime ``Write(WriteRequest)`` RPC.  Batches are atomic: if any operation
+fails validation or resources, the whole batch is rolled back — which is
+what lets the runtime-update engine (§V-E) swap tenant rule sets safely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.dataplane.pipeline import SwitchPipeline
+from repro.dataplane.table import TableEntry
+from repro.errors import DataPlaneError, ResourceExhaustedError
+
+
+class OpType(enum.Enum):
+    INSERT = "insert"
+    MODIFY = "modify"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One table operation inside a batch."""
+
+    op: OpType
+    table: str
+    entry: TableEntry
+    #: For MODIFY: the replacement entry (same match, new action/params).
+    replacement: TableEntry | None = None
+
+
+@dataclass
+class WriteResult:
+    """Outcome of a batch write."""
+
+    applied: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+class RuntimeAPI:
+    """Batched entry CRUD with rollback, plus simple read RPCs."""
+
+    def __init__(self, pipeline: SwitchPipeline) -> None:
+        self.pipeline = pipeline
+        self.writes_total = 0
+        self.batches_total = 0
+
+    # -- reads ------------------------------------------------------------
+    def read_entries(self, table_name: str) -> list[TableEntry]:
+        """All entries currently installed in ``table_name`` (Read RPC)."""
+        _stage, table = self.pipeline.find_table(table_name)
+        return list(table.entries)  # type: ignore[attr-defined]
+
+    def table_stats(self, table_name: str) -> dict[str, int]:
+        """Entry count and hit/miss counters for ``table_name``."""
+        _stage, table = self.pipeline.find_table(table_name)
+        return {
+            "entries": table.num_entries,       # type: ignore[attr-defined]
+            "hits": table.hits,                 # type: ignore[attr-defined]
+            "misses": table.misses,             # type: ignore[attr-defined]
+        }
+
+    # -- writes ------------------------------------------------------------
+    def _apply_one(self, op: WriteOp) -> "tuple[WriteOp, ...]":
+        """Apply one op; returns the inverse ops needed to undo it."""
+        stage, table = self.pipeline.find_table(op.table)
+        if op.op is OpType.INSERT:
+            stage.resources.charge_entries(op.table, 1)
+            table.insert(op.entry)  # type: ignore[attr-defined]
+            return (WriteOp(OpType.DELETE, op.table, op.entry),)
+        if op.op is OpType.DELETE:
+            table.delete(op.entry)  # type: ignore[attr-defined]
+            stage.resources.refund_entries(op.table, 1)
+            return (WriteOp(OpType.INSERT, op.table, op.entry),)
+        if op.op is OpType.MODIFY:
+            if op.replacement is None:
+                raise DataPlaneError("MODIFY needs a replacement entry")
+            table.delete(op.entry)  # type: ignore[attr-defined]
+            table.insert(op.replacement)  # type: ignore[attr-defined]
+            return (
+                WriteOp(OpType.MODIFY, op.table, op.replacement, replacement=op.entry),
+            )
+        raise DataPlaneError(f"unhandled op {op.op}")  # pragma: no cover
+
+    def write(self, ops: list[WriteOp]) -> WriteResult:
+        """Apply a batch atomically; on any failure undo what was applied
+        and report the error."""
+        undo: list[WriteOp] = []
+        result = WriteResult()
+        self.batches_total += 1
+        for op in ops:
+            try:
+                inverse = self._apply_one(op)
+            except (DataPlaneError, ResourceExhaustedError) as exc:
+                result.errors.append(f"{op.op.value} {op.table}: {exc}")
+                for back in reversed(undo):
+                    self._apply_one(back)
+                result.applied = 0
+                return result
+            undo.extend(inverse)
+            result.applied += 1
+            self.writes_total += 1
+        return result
+
+    # -- conveniences ------------------------------------------------------
+    def insert(self, table: str, entry: TableEntry) -> WriteResult:
+        """Single-op INSERT batch."""
+        return self.write([WriteOp(OpType.INSERT, table, entry)])
+
+    def delete(self, table: str, entry: TableEntry) -> WriteResult:
+        """Single-op DELETE batch."""
+        return self.write([WriteOp(OpType.DELETE, table, entry)])
+
+    def modify(self, table: str, entry: TableEntry, replacement: TableEntry) -> WriteResult:
+        """Single-op MODIFY batch (same match, new action/params)."""
+        return self.write([WriteOp(OpType.MODIFY, table, entry, replacement=replacement)])

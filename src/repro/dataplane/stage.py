@@ -1,0 +1,79 @@
+"""MAU stages.
+
+A :class:`Stage` hosts the physical NF tables installed on it and owns the
+stage's SRAM (:class:`~repro.dataplane.resources.StageResources`).  Applying
+a stage to a packet runs every resident table in installation order; a table
+whose key does not match falls through to its default ``no_op`` — exactly the
+paper's "default rule: not processing packets but forwarding them to the
+next stage".
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.action import ActionRegistry
+from repro.dataplane.packet import Packet
+from repro.dataplane.resources import StageResources
+from repro.dataplane.table import MatchActionTable
+from repro.errors import DataPlaneError
+
+
+class Stage:
+    """One physical pipeline stage (MAU)."""
+
+    def __init__(
+        self,
+        index: int,
+        resources: StageResources | None = None,
+    ) -> None:
+        if index < 0:
+            raise DataPlaneError("stage index must be >= 0")
+        self.index = index
+        self.resources = resources if resources is not None else StageResources()
+        self.tables: list[MatchActionTable] = []
+
+    def install_table(self, table: MatchActionTable, reserve_blocks: int = 1) -> None:
+        """Install a physical NF's table, reserving its boot-time block(s)."""
+        if any(t.name == table.name for t in self.tables):
+            raise DataPlaneError(
+                f"stage {self.index}: table {table.name!r} already installed"
+            )
+        self.resources.reserve(table.name, blocks=reserve_blocks)
+        self.tables.append(table)
+
+    def remove_table(self, name: str) -> MatchActionTable:
+        """Uninstall a physical NF (reconfiguration), releasing its blocks."""
+        for i, table in enumerate(self.tables):
+            if table.name == name:
+                self.resources.release(name)
+                return self.tables.pop(i)
+        raise DataPlaneError(f"stage {self.index}: no table named {name!r}")
+
+    def table(self, name: str) -> MatchActionTable:
+        """The resident table called ``name``; raises if absent."""
+        for t in self.tables:
+            if t.name == name:
+                return t
+        raise DataPlaneError(f"stage {self.index}: no table named {name!r}")
+
+    def apply(
+        self,
+        packet: Packet,
+        actions: ActionRegistry,
+        pass_id: int,
+        trace: list[tuple[int, int, str, str]] | None = None,
+    ) -> None:
+        """Run the stage's tables against ``packet`` (stops if dropped)."""
+        for table in self.tables:
+            if packet.dropped:
+                return
+            _entry, action_name, params = table.lookup(packet)
+            call = actions.resolve(action_name)
+            call.fn(packet, params)
+            if trace is not None:
+                trace.append((pass_id, self.index, table.name, action_name))
+
+    def __repr__(self) -> str:
+        return (
+            f"Stage({self.index}, tables={[t.name for t in self.tables]}, "
+            f"blocks={self.resources.blocks_used}/{self.resources.blocks_total})"
+        )

@@ -1,0 +1,212 @@
+"""Match-action tables.
+
+A :class:`MatchActionTable` models one P4 table as installed in an MAU:
+a typed match key (exact / ternary / LPM / range per field), prioritized
+entries, and a default action.  This is the unit the SFP data plane
+virtualizes: physical NFs prepend ``tenant_id`` (exact) and ``pass_id``
+(exact) fields to their match key so one physical table hosts many tenants'
+logical NFs (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.dataplane.packet import MATCHABLE_FIELDS, Packet
+from repro.errors import DataPlaneError
+
+
+class MatchKind(enum.Enum):
+    """P4 match kinds supported by the MAU model."""
+
+    EXACT = "exact"
+    TERNARY = "ternary"  # value/mask
+    LPM = "lpm"          # value/prefix_len over 32-bit fields
+    RANGE = "range"      # [lo, hi] inclusive
+
+
+@dataclass(frozen=True)
+class MatchField:
+    """One component of a table's match key."""
+
+    name: str
+    kind: MatchKind
+
+    def __post_init__(self) -> None:
+        if self.name not in MATCHABLE_FIELDS:
+            raise DataPlaneError(f"unknown match field {self.name!r}")
+
+
+def _match_one(kind: MatchKind, spec, value: int) -> bool:
+    """Does ``value`` satisfy one field's match spec?
+
+    Spec encodings: EXACT -> int (or None = wildcard); TERNARY ->
+    ``(value, mask)``; LPM -> ``(prefix, prefix_len)``; RANGE -> ``(lo, hi)``.
+    ``None`` wildcards any kind.
+    """
+    if spec is None:
+        return True
+    if kind is MatchKind.EXACT:
+        return value == int(spec)
+    if kind is MatchKind.TERNARY:
+        want, mask = spec
+        return (value & mask) == (want & mask)
+    if kind is MatchKind.LPM:
+        prefix, length = spec
+        if not 0 <= length <= 32:
+            raise DataPlaneError(f"LPM prefix length {length} outside [0, 32]")
+        if length == 0:
+            return True
+        mask = ((1 << length) - 1) << (32 - length)
+        return (value & mask) == (prefix & mask)
+    if kind is MatchKind.RANGE:
+        lo, hi = spec
+        return lo <= value <= hi
+    raise DataPlaneError(f"unhandled match kind {kind}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One rule: per-field match specs, a priority, and an action binding.
+
+    ``match`` maps field name -> spec (see :func:`_match_one`); fields
+    omitted from the mapping are wildcards.  Higher ``priority`` wins; among
+    equal priorities, for LPM fields the longest prefix wins (standard P4
+    semantics), then insertion order.
+    """
+
+    match: Mapping[str, object]
+    action: str
+    params: Mapping[str, object] = field(default_factory=dict)
+    priority: int = 0
+
+    def lpm_specificity(self, key: Sequence[MatchField]) -> int:
+        """Total LPM prefix length (tie-break for equal priorities)."""
+        total = 0
+        for f in key:
+            spec = self.match.get(f.name)
+            if f.kind is MatchKind.LPM and spec is not None:
+                total += int(spec[1])
+        return total
+
+
+class MatchActionTable:
+    """A physical table instance resident in one MAU stage."""
+
+    def __init__(
+        self,
+        name: str,
+        key: Sequence[MatchField],
+        default_action: str = "no_op",
+        default_params: Mapping[str, object] | None = None,
+        max_entries: int | None = None,
+    ) -> None:
+        if not name:
+            raise DataPlaneError("table needs a name")
+        names = [f.name for f in key]
+        if len(set(names)) != len(names):
+            raise DataPlaneError(f"table {name!r}: duplicate match fields {names}")
+        self.name = name
+        self.key = tuple(key)
+        self.default_action = default_action
+        self.default_params = dict(default_params or {})
+        self.max_entries = max_entries
+        self.entries: list[TableEntry] = []
+        #: Lookup statistics (hit = entry matched, miss = default action).
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def key_fields(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.key)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.entries)
+
+    def _validate(self, entry: TableEntry) -> None:
+        for fname in entry.match:
+            if fname not in self.key_fields:
+                raise DataPlaneError(
+                    f"table {self.name!r}: entry matches unknown field {fname!r} "
+                    f"(key = {self.key_fields})"
+                )
+
+    def insert(self, entry: TableEntry) -> None:
+        """Install a rule (P4Runtime INSERT)."""
+        self._validate(entry)
+        if self.max_entries is not None and self.num_entries >= self.max_entries:
+            raise DataPlaneError(
+                f"table {self.name!r} full ({self.max_entries} entries)"
+            )
+        self.entries.append(entry)
+
+    def insert_many(self, entries: Sequence[TableEntry]) -> None:
+        """Install several rules in order (all-or-nothing is the
+        RuntimeAPI's job; this is the raw table operation)."""
+        for entry in entries:
+            self.insert(entry)
+
+    def delete(self, entry: TableEntry) -> None:
+        """Remove a previously installed rule (P4Runtime DELETE).
+
+        Prefers removing the *identical* object (what install bookkeeping
+        holds), falling back to the first equal entry — so deleting a
+        specific duplicate never disturbs the insertion-order tie-break of
+        the entries before it.
+        """
+        for i, existing in enumerate(self.entries):
+            if existing is entry:
+                del self.entries[i]
+                return
+        try:
+            self.entries.remove(entry)
+        except ValueError:
+            raise DataPlaneError(
+                f"table {self.name!r}: entry not present for delete"
+            ) from None
+
+    def delete_where(self, **match_fields: object) -> int:
+        """Delete all entries whose match spec contains the given field
+        values exactly (used for per-tenant teardown); returns the count."""
+        before = self.num_entries
+        self.entries = [
+            e
+            for e in self.entries
+            if not all(e.match.get(k) == v for k, v in match_fields.items())
+        ]
+        return before - self.num_entries
+
+    def lookup(self, packet: Packet) -> tuple[TableEntry | None, str, Mapping[str, object]]:
+        """Find the winning entry for ``packet``.
+
+        Returns ``(entry, action, params)``; ``entry`` is ``None`` on a miss
+        (default action).  Match semantics: all key fields must match;
+        priority desc, then LPM specificity desc, then insertion order.
+        """
+        best: TableEntry | None = None
+        best_rank: tuple[int, int, int] | None = None
+        for order, entry in enumerate(self.entries):
+            ok = True
+            for f in self.key:
+                if not _match_one(f.kind, entry.match.get(f.name), packet.get_field(f.name)):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            rank = (entry.priority, entry.lpm_specificity(self.key), -order)
+            if best_rank is None or rank > best_rank:
+                best, best_rank = entry, rank
+        if best is None:
+            self.misses += 1
+            return None, self.default_action, self.default_params
+        self.hits += 1
+        return best, best.action, best.params
+
+    def __repr__(self) -> str:
+        return (
+            f"MatchActionTable({self.name!r}, key={list(self.key_fields)}, "
+            f"entries={self.num_entries})"
+        )

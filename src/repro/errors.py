@@ -1,0 +1,50 @@
+"""Exception hierarchy for the SFP reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can catch
+library failures without accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(ReproError):
+    """Raised when an optimization model is built or used incorrectly
+    (duplicate variable names, mismatched model ownership, missing
+    objective, ...)."""
+
+
+class SolverError(ReproError):
+    """Raised when a solver backend fails in a way that is not simply an
+    infeasible/unbounded status (e.g. numerical breakdown, unknown backend)."""
+
+
+class InfeasibleError(SolverError):
+    """Raised by callers who required a feasible solution and got none."""
+
+
+class UnboundedError(SolverError):
+    """Raised when a model with an unbounded objective is solved and the
+    caller required a finite optimum."""
+
+
+class DataPlaneError(ReproError):
+    """Raised on invalid data-plane operations (bad table entries,
+    out-of-resource installs, malformed packets)."""
+
+
+class ResourceExhaustedError(DataPlaneError):
+    """Raised when an install would exceed a stage's SRAM blocks/entries or
+    the pipeline's recirculation budget."""
+
+
+class PlacementError(ReproError):
+    """Raised when a placement solution violates the problem constraints or
+    when a placement request cannot be expressed (e.g. unknown NF type)."""
+
+
+class WorkloadError(ReproError):
+    """Raised on invalid workload-generator parameters."""

@@ -1,0 +1,33 @@
+"""Experiment runners — one per evaluation figure (Fig. 4-11).
+
+Each ``figN`` module exposes ``run(...) -> ExperimentResult`` printing the
+same rows/series the paper's figure plots.  ``quick=True`` shrinks sweeps to
+seconds-scale (used by the benchmark harness defaults and tests); paper-scale
+parameters are the defaults of each module's ``FullConfig``.
+"""
+
+from repro.experiments.harness import ExperimentResult, mean_over_trials, run_trials
+from repro.experiments import (
+    fig4_throughput,
+    fig5_latency,
+    fig6_num_sfcs,
+    fig7_recirculation,
+    fig8_solver_runtime,
+    fig9_early_termination,
+    fig10_algorithms,
+    fig11_runtime_update,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "mean_over_trials",
+    "run_trials",
+    "fig4_throughput",
+    "fig5_latency",
+    "fig6_num_sfcs",
+    "fig7_recirculation",
+    "fig8_solver_runtime",
+    "fig9_early_termination",
+    "fig10_algorithms",
+    "fig11_runtime_update",
+]

@@ -1,0 +1,84 @@
+"""Fig. 10 — Objective throughput of SFP-IP vs SFP-Appro. vs Greedy.
+
+8 stages, 2 recirculations, 10 NF types, average chain length 5, L swept up
+to 60.  The paper's shape: the IP nearly saturates the 400 Gbps backplane by
+~50 SFCs; Appro tracks it a few percent below and the greedy heuristic sits
+lowest (398 vs 377 vs 367 Gbps at 60 SFCs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.greedy import greedy_place
+from repro.core.ilp import solve_ilp
+from repro.core.rounding import solve_with_rounding
+from repro.experiments.config import PAPER_SWITCH, PAPER_WORKLOAD
+from repro.experiments.harness import ExperimentResult, mean_over_trials, run_trials
+from repro.traffic.workload import make_instance
+
+L_VALUES = (10, 20, 30, 40, 50, 60)
+MAX_RECIRCULATIONS = 2
+
+
+def run(
+    l_values=L_VALUES,
+    trials: int = 1,
+    seed: int | None = None,
+    backend: str = "scipy",
+    ilp_time_limit: float | None = 300.0,
+    include_ilp: bool = True,
+) -> ExperimentResult:
+    """Regenerate Fig. 10's three-algorithm comparison."""
+    columns = [
+        "num_sfcs",
+        "appro_gbps",
+        "greedy_gbps",
+        "appro_backplane",
+        "greedy_backplane",
+    ]
+    if include_ilp:
+        columns[1:1] = ["ilp_gbps"]
+        columns.append("ilp_backplane")
+    result = ExperimentResult(
+        name="fig10",
+        description="objective throughput: SFP-IP vs SFP-Appro. vs greedy, "
+        "varying L",
+        columns=columns,
+    )
+    for L in l_values:
+        config = replace(PAPER_WORKLOAD, num_sfcs=L)
+
+        def trial(rng):
+            instance = make_instance(
+                config,
+                switch=PAPER_SWITCH,
+                max_recirculations=MAX_RECIRCULATIONS,
+                rng=rng,
+            )
+            appro = solve_with_rounding(instance, rng=rng, backend=backend).placement
+            greedy = greedy_place(instance)
+            row = {
+                # Objective throughput (the figure's own axis label).
+                "appro_gbps": appro.objective,
+                "greedy_gbps": greedy.objective,
+                "appro_backplane": appro.backplane_gbps,
+                "greedy_backplane": greedy.backplane_gbps,
+            }
+            if include_ilp:
+                ilp = solve_ilp(instance, backend=backend, time_limit=ilp_time_limit)
+                row["ilp_gbps"] = ilp.objective
+                row["ilp_backplane"] = ilp.backplane_gbps
+            return row
+
+        mean = mean_over_trials(run_trials(trial, trials, seed))
+        result.add_row(num_sfcs=L, **mean)
+    result.notes.append(
+        "paper at L=60: 398 (IP) vs 377 (Appro) vs 367 (greedy) Gbps; IP "
+        "saturates capacity by ~50 SFCs"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

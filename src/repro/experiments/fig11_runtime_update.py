@@ -1,0 +1,91 @@
+"""Fig. 11 — Runtime update: throughput after re-filling dropped SFCs.
+
+Setup per the paper: 8 stages, 2 recirculations, chain length ~5, 10 types,
+20 allocated SFCs out of 50 candidates.  Allocate, drop a fraction of the
+allocated chains (the drop rate), then let the runtime updater re-fill from
+the remaining candidates.  The paper observes post-update throughput stays
+essentially saturated, increasing very slightly with the drop rate (more
+freed resources -> more re-combination freedom): 394.0 Gbps at drop 0.1 to
+399.8 at drop 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.greedy import greedy_place
+from repro.core.update import RuntimeUpdater
+from repro.core.verify import check_placement
+from repro.experiments.config import PAPER_SWITCH, PAPER_WORKLOAD
+from repro.experiments.harness import ExperimentResult, mean_over_trials, run_trials
+from repro.traffic.workload import make_instance
+
+DROP_RATES = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0)
+NUM_ALLOCATED = 20
+NUM_CANDIDATES = 50
+MAX_RECIRCULATIONS = 2
+
+
+def run(
+    drop_rates=DROP_RATES,
+    trials: int = 1,
+    seed: int | None = None,
+) -> ExperimentResult:
+    """Regenerate Fig. 11's runtime-update sweep."""
+    config = replace(PAPER_WORKLOAD, num_sfcs=NUM_CANDIDATES)
+    result = ExperimentResult(
+        name="fig11",
+        description="throughput after runtime update vs drop rate "
+        "(20 allocated / 50 candidates)",
+        columns=[
+            "drop_rate",
+            "origin_gbps",
+            "updated_gbps",
+            "dropped",
+            "admitted",
+        ],
+    )
+    for rate in drop_rates:
+        def trial(rng):
+            instance = make_instance(
+                config,
+                switch=PAPER_SWITCH,
+                max_recirculations=MAX_RECIRCULATIONS,
+                rng=rng,
+            )
+            # Initial allocation from the first 20 candidates only, so the
+            # other 30 arrive later (the paper allocates 20 then refills
+            # from the 50-candidate pool).
+            initial_pool = set(range(NUM_ALLOCATED))
+            skip = set(range(instance.num_sfcs)) - initial_pool
+            origin = greedy_place(instance, skip=skip)
+            updater = RuntimeUpdater(origin)
+
+            allocated = list(origin.assignments)
+            k = max(1, int(round(rate * len(allocated))))
+            drop = list(rng.choice(np.array(allocated), size=k, replace=False))
+            updater.remove(int(l) for l in drop)
+            update = updater.admit()  # full candidate pool now admissible
+            updated = updater.placement
+            assert check_placement(updated) == []
+            return {
+                # Objective throughput (Eq. 1), as in Figs. 6/7/10.
+                "origin_gbps": origin.objective,
+                "updated_gbps": updated.objective,
+                "dropped": float(k),
+                "admitted": float(len(update.added)),
+            }
+
+        mean = mean_over_trials(run_trials(trial, trials, seed))
+        result.add_row(drop_rate=rate, **mean)
+    result.notes.append(
+        "paper: post-update throughput near-saturated, slightly increasing "
+        "with drop rate (394.0 at 0.1 -> 399.8 at 1.0 Gbps)"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

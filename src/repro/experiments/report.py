@@ -1,0 +1,329 @@
+"""EXPERIMENTS.md generation: run every figure, record paper-vs-measured.
+
+``generate_report`` executes all eight figure runners (quick or paper scale)
+and renders a markdown report with, per figure: the paper's claims, our
+measured table, and a pass/fail shape check mirroring the benchmark
+assertions.  The repository's EXPERIMENTS.md is produced by::
+
+    python -m repro.experiments.report [--paper-scale] [-o EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.experiments import (
+    fig4_throughput,
+    fig5_latency,
+    fig6_num_sfcs,
+    fig7_recirculation,
+    fig8_solver_runtime,
+    fig9_early_termination,
+    fig10_algorithms,
+    fig11_runtime_update,
+)
+from repro.experiments.harness import ExperimentResult
+
+
+@dataclass
+class FigureReport:
+    figure: str
+    paper_claim: str
+    result: ExperimentResult
+    checks: list[tuple[str, bool]]
+
+    @property
+    def ok(self) -> bool:
+        return all(passed for _, passed in self.checks)
+
+
+def _markdown_table(result: ExperimentResult) -> str:
+    def fmt(v):
+        return f"{v:.2f}" if isinstance(v, float) else str(v)
+
+    head = "| " + " | ".join(result.columns) + " |"
+    sep = "|" + "|".join("---" for _ in result.columns) + "|"
+    rows = [
+        "| " + " | ".join(fmt(row[c]) for c in result.columns) + " |"
+        for row in result.rows
+    ]
+    return "\n".join([head, sep, *rows])
+
+
+def _fig4(seed, quick) -> FigureReport:
+    r = fig4_throughput.run(seed=seed)
+    sfp = r.column("sfp_gbps")
+    dpdk = r.column("dpdk_gbps")
+    checks = [
+        ("SFP saturates 100 Gbps at every packet size", all(abs(v - 100) < 1e-6 for v in sfp)),
+        (">=10x speedup at 64 B (paper: 'at least 10 times')", r.rows[0]["speedup"] >= 10),
+        ("DPDK reaches line rate only at 1500 B", dpdk[-1] == 100 and all(v < 100 for v in dpdk[:-1])),
+    ]
+    return FigureReport(
+        "Fig. 4",
+        "SFP saturates the 100 Gbps sender at all packet sizes; DPDK is "
+        "pps-bound, >=10x slower at 64 B, line-rate only at 1500 B.",
+        r,
+        checks,
+    )
+
+
+def _fig5(seed, quick) -> FigureReport:
+    r = fig5_latency.run(seed=seed)
+    row = r.rows[0]
+    overhead = row["sfp_recir_ns"] - row["sfp_ns"]
+    checks = [
+        ("SFP ~341 ns (paper: 341 ns)", abs(row["sfp_ns"] - 341) < 25),
+        ("DPDK ~1151 ns (paper: 1151 ns)", abs(row["dpdk_ns"] - 1151) < 120),
+        ("3 recirculations cost ~35 ns (paper: 35 ns)", 20 <= overhead <= 60),
+    ]
+    return FigureReport(
+        "Fig. 5",
+        "Processing latency: SFP 341 ns vs DPDK 1151 ns; three "
+        "recirculations add only ~35 ns.",
+        r,
+        checks,
+    )
+
+
+def _fig6(seed, quick) -> FigureReport:
+    r = fig6_num_sfcs.run(
+        l_values=(10, 20, 30) if quick else (10, 20, 30, 40, 50),
+        trials=1 if quick else 5,
+        seed=seed,
+    )
+    sfp = np.array(r.column("sfp_gbps"))
+    base = np.array(r.column("base_gbps"))
+    eu_gap = np.array(r.column("sfp_entry_util")) - np.array(r.column("base_entry_util"))
+    checks = [
+        ("throughput grows with L", sfp[-1] > sfp[0]),
+        ("SFP >= baseline on average", sfp.mean() >= base.mean() - 1e-6),
+        ("SFP entry utilization clearly higher", (eu_gap > 0).all()),
+        ("blocks approach the 20/stage bound", r.rows[-1]["sfp_blocks"] > 15),
+    ]
+    return FigureReport(
+        "Fig. 6",
+        "Blocks saturate near 20/stage by L~15; throughput grows with L; "
+        "SFP slightly above the no-consolidation baseline in throughput and "
+        "clearly above in entry utilization (247.1 vs 227.0 Gbps at L=30).",
+        r,
+        checks,
+    )
+
+
+def _fig7(seed, quick) -> FigureReport:
+    r = fig7_recirculation.run(
+        recirculations=(0, 1, 2, 3) if quick else (0, 1, 2, 3, 4, 5, 6),
+        trials=2 if quick else 5,
+        seed=seed,
+    )
+    sfp = np.array(r.column("sfp_gbps"))
+    first_gain = sfp[1] - sfp[0]
+    later = np.diff(sfp[1:])
+    checks = [
+        ("one recirculation does not hurt (paper: helps)", sfp[1] >= sfp[0]),
+        ("further recirculations plateau", (later <= max(first_gain, 0.05 * sfp[1]) + 1e-6).all()),
+        (
+            "SFP entry util above baseline",
+            np.mean(r.column("sfp_entry_util")) > np.mean(r.column("base_entry_util")),
+        ),
+    ]
+    return FigureReport(
+        "Fig. 7",
+        "One recirculation lifts throughput (138.3 -> 142.0 Gbps); more do "
+        "not; block utilization similar across variants, SFP entry "
+        "utilization higher.",
+        r,
+        checks,
+    )
+
+
+def _fig8(seed, quick) -> FigureReport:
+    r = fig8_solver_runtime.run(
+        l_values=(10, 20, 30) if quick else (10, 20, 30, 40, 50),
+        ilp_time_limit=120.0 if quick else 300.0,
+        seed=seed,
+    )
+    ilp = np.array(r.column("ilp_seconds"))
+    appro = np.array(r.column("appro_seconds"))
+    hit = np.array(r.column("ilp_hit_limit"))
+    checks = [
+        ("exact IP slower than Appro at the largest L", ilp[-1] > appro[-1] or hit[-1] > 0),
+        (
+            "Appro objective within 30% of IP",
+            (np.array(r.column("appro_objective")) >= 0.7 * np.array(r.column("ilp_objective")) - 1e-6).all(),
+        ),
+    ]
+    return FigureReport(
+        "Fig. 8",
+        "SFP-IP runtime grows super-exponentially with L; SFP-Appro. stays "
+        "polynomial (~70 s at 50 SFCs on the paper's machine).",
+        r,
+        checks,
+    )
+
+
+def _fig9(seed, quick) -> FigureReport:
+    r = fig9_early_termination.run(
+        time_limits=(0.05, 2.0, 30.0) if quick else (5.0, 10.0, 20.0, 30.0, 60.0),
+        num_sfcs=12 if quick else 25,
+        seed=seed,
+    )
+    objective = np.array(r.column("throughput_gbps"))
+    checks = [
+        (
+            "objective non-decreasing in the time limit",
+            all(a <= b + 1e-3 * max(1.0, b) for a, b in zip(objective, objective[1:])),
+        ),
+        ("loosest limit reaches a positive optimum", objective[-1] > 0),
+    ]
+    return FigureReport(
+        "Fig. 9",
+        "Early-terminated IP: nothing at the 5 s limit, near-optimal by "
+        "10 s, optimal by 30 s.",
+        r,
+        checks,
+    )
+
+
+def _fig10(seed, quick) -> FigureReport:
+    r = fig10_algorithms.run(
+        # Mid-scale even under "quick": the IP/Appro/greedy separation only
+        # emerges once memory+capacity bind (L >= ~25).
+        l_values=(10, 25, 40) if quick else (10, 20, 30, 40, 50, 60),
+        ilp_time_limit=120.0 if quick else 300.0,
+        seed=seed,
+    )
+    ilp = np.array(r.column("ilp_gbps"))
+    appro = np.array(r.column("appro_gbps"))
+    greedy = np.array(r.column("greedy_gbps"))
+    # A time-limited ILP may terminate with no incumbent (objective 0 —
+    # Fig. 9's tight-limit behaviour); the dominance check only applies
+    # where an incumbent exists.
+    has_incumbent = ilp > 0
+    checks = [
+        (
+            "IP >= Appro pointwise where IP found an incumbent (2% slack)",
+            has_incumbent.any()
+            and (appro[has_incumbent] <= ilp[has_incumbent] * 1.02 + 1e-6).all(),
+        ),
+        ("Appro >= greedy on average", appro.mean() >= greedy.mean() - 1e-6),
+        ("curves grow with L", appro[-1] >= appro[0] and greedy[-1] >= greedy[0]),
+    ]
+    if (~has_incumbent).any():
+        missing = [int(n) for n, ok in zip(r.column("num_sfcs"), has_incumbent) if not ok]
+        r.notes.append(
+            f"ilp_gbps = 0 at L in {missing}: the HiGHS substitute found no "
+            "incumbent within the per-solve time limit (the paper's Fig. 9 "
+            "tight-limit behaviour; its Gurobi baseline has stronger primal "
+            "heuristics) — dominance is checked on the rows with incumbents"
+        )
+    return FigureReport(
+        "Fig. 10",
+        "Objective throughput IP > Appro > greedy (398 vs 377 vs 367 Gbps "
+        "at 60 SFCs); IP saturates the switch by ~50 SFCs.",
+        r,
+        checks,
+    )
+
+
+def _fig11(seed, quick) -> FigureReport:
+    r = fig11_runtime_update.run(
+        drop_rates=(0.2, 0.6, 1.0) if quick else (0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+        trials=2 if quick else 3,
+        seed=seed,
+    )
+    origin = np.array(r.column("origin_gbps"))
+    updated = np.array(r.column("updated_gbps"))
+    checks = [
+        ("re-fill never loses throughput", (updated >= origin - 1e-6).all()),
+        ("roughly non-decreasing in drop rate", updated[-1] >= updated[0] * 0.95),
+        ("new chains admitted at every rate", (np.array(r.column("admitted")) > 0).all()),
+    ]
+    return FigureReport(
+        "Fig. 11",
+        "Post-update throughput stays near saturation and increases "
+        "slightly with the drop rate (394.0 at 0.1 -> 399.8 Gbps at 1.0).",
+        r,
+        checks,
+    )
+
+
+FIGURES: list[Callable] = [_fig4, _fig5, _fig6, _fig7, _fig8, _fig9, _fig10, _fig11]
+
+
+def generate_report(quick: bool = True, seed: int = 11, today: str | None = None) -> str:
+    """Run every figure and render the markdown report."""
+    reports = [fn(seed, quick) for fn in FIGURES]
+    scale = "quick" if quick else "paper"
+    if today is None:
+        today = datetime.date.today().isoformat()
+    lines = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        f"Generated by `python -m repro.experiments.report` ({scale} scale, "
+        f"seed {seed}, {today}).",
+        "",
+        "Absolute numbers are not expected to match the paper's Tofino/Xeon "
+        "testbed — the substrate here is a calibrated simulator (see "
+        "DESIGN.md §2).  What must match, and is checked below, is each "
+        "figure's *shape*: who wins, by roughly what factor, and where "
+        "behaviour changes.",
+        "",
+        "**Metric note.** The placement figures (6/7/9/10/11) report "
+        "\"objective throughput\" — Equation (1), the offloaded traffic "
+        "weighted by chain length, which is the quantity all three "
+        "algorithms maximize and the label Fig. 10 itself uses.  Backplane "
+        "occupancy (Eq. 12's left side) is included as a diagnostic column "
+        "where relevant; it rewards wasted recirculation passes, so it is "
+        "not used for algorithm comparison.",
+        "",
+    ]
+    for report in reports:
+        verdict = "PASS" if report.ok else "CHECK FAILED"
+        lines += [
+            f"## {report.figure} — {verdict}",
+            "",
+            f"**Paper:** {report.paper_claim}",
+            "",
+            f"**Measured** ({report.result.description}):",
+            "",
+            _markdown_table(report.result),
+            "",
+        ]
+        for note in report.result.notes:
+            lines.append(f"*{note}*")
+            lines.append("")
+        lines.append("Shape checks:")
+        for name, passed in report.checks:
+            lines.append(f"- [{'x' if passed else ' '}] {name}")
+        lines.append("")
+    failed = [r.figure for r in reports if not r.ok]
+    lines.append(
+        "All shape checks passed." if not failed else f"FAILED: {failed}"
+    )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:  # pragma: no cover - exercised via CLI
+    """CLI entry point for report generation."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper-scale", action="store_true")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    args = parser.parse_args(argv)
+    text = generate_report(quick=not args.paper_scale, seed=args.seed)
+    with open(args.output, "w") as fh:
+        fh.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

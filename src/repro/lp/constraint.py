@@ -1,0 +1,89 @@
+"""Linear constraints.
+
+A :class:`Constraint` is a normalized linear relation ``expr (<=|>=|==) rhs``
+where the expression's constant has been folded into the right-hand side, so
+it is always stored as ``sum(coeff_i * x_i)  sense  rhs``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Union
+
+from repro.errors import ModelError
+from repro.lp.expr import LinExpr, Var, _is_number
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lp.model import Model
+
+ExprLike = Union[Var, LinExpr, int, float]
+
+
+class Sense(enum.Enum):
+    """Direction of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class Constraint:
+    """A normalized linear constraint ``lhs sense rhs``.
+
+    ``lhs`` is a :class:`LinExpr` with zero constant; the constant has been
+    moved to ``rhs``.  Constraints are built via expression comparisons and
+    registered on a model with :meth:`repro.lp.model.Model.add_constr`.
+    """
+
+    __slots__ = ("lhs", "sense", "rhs", "name")
+
+    def __init__(self, lhs: LinExpr, sense: Sense, rhs: float, name: str = "") -> None:
+        if lhs.constant != 0.0:
+            rhs = rhs - lhs.constant
+            lhs = LinExpr(lhs.coeffs, 0.0, lhs.model)
+        self.lhs = lhs
+        self.sense = sense
+        self.rhs = float(rhs)
+        self.name = name
+
+    @staticmethod
+    def build(left: ExprLike, right: ExprLike, sense: Sense) -> "Constraint":
+        """Normalize ``left sense right`` into ``(left - right) sense 0`` form."""
+        if isinstance(left, Var):
+            left = left.to_expr()
+        if _is_number(left):
+            left = LinExpr(constant=float(left))  # type: ignore[arg-type]
+        if not isinstance(left, LinExpr):
+            raise ModelError(f"cannot build constraint from {type(left).__name__}")
+        diff = left - right
+        if not isinstance(diff, LinExpr):
+            raise ModelError(f"cannot build constraint against {type(right).__name__}")
+        rhs = -diff.constant
+        lhs = LinExpr(diff.coeffs, 0.0, diff.model)
+        if not lhs.coeffs:
+            raise ModelError(
+                "constraint has no variables; comparison between constants "
+                f"({0.0} {sense.value} {rhs})"
+            )
+        return Constraint(lhs, sense, rhs)
+
+    @property
+    def model(self) -> "Model | None":
+        return self.lhs.model
+
+    def violation(self, assignment, tol: float = 1e-9) -> float:
+        """Amount by which ``assignment`` violates this constraint (0 if satisfied)."""
+        value = self.lhs.value(assignment)
+        if self.sense is Sense.LE:
+            return max(0.0, value - self.rhs - tol)
+        if self.sense is Sense.GE:
+            return max(0.0, self.rhs - value - tol)
+        return max(0.0, abs(value - self.rhs) - tol)
+
+    def is_satisfied(self, assignment, tol: float = 1e-9) -> bool:
+        """Whether ``assignment`` satisfies this constraint within ``tol``."""
+        return self.violation(assignment, tol) == 0.0
+
+    def __repr__(self) -> str:
+        label = f" [{self.name}]" if self.name else ""
+        return f"Constraint({self.lhs!r} {self.sense.value} {self.rhs:g}{label})"

@@ -1,0 +1,290 @@
+"""Decision variables and linear expressions.
+
+A tiny modeling language in the style of PuLP/Gurobi: :class:`Var` supports
+arithmetic with numbers and other variables, producing :class:`LinExpr`
+objects; comparisons (``<=``, ``>=``, ``==``) produce
+:class:`~repro.lp.constraint.Constraint` objects.
+
+Expressions store ``{variable_index: coefficient}`` dictionaries.  Dense
+vectors are only materialized once, when the whole model is exported
+(:meth:`repro.lp.model.Model.to_arrays`); building with dicts keeps model
+construction O(nnz) rather than O(num_vars) per expression, which matters for
+the placement ILP where a model can have tens of thousands of variables but
+each constraint touches only a handful.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping, Union
+
+from repro.errors import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.lp.constraint import Constraint
+    from repro.lp.model import Model
+
+Number = Union[int, float]
+ExprLike = Union["Var", "LinExpr", int, float]
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+class Var:
+    """A decision variable owned by a :class:`~repro.lp.model.Model`.
+
+    Variables are created through :meth:`Model.add_var`; constructing one
+    directly is only done by the model.  A variable is identified by its
+    integer ``index`` within its model; ``name`` is for humans and solutions.
+    """
+
+    __slots__ = ("model", "index", "name", "lb", "ub", "is_integer")
+
+    def __init__(
+        self,
+        model: "Model",
+        index: int,
+        name: str,
+        lb: float,
+        ub: float,
+        is_integer: bool,
+    ) -> None:
+        if lb > ub:
+            raise ModelError(f"variable {name!r}: lower bound {lb} exceeds upper bound {ub}")
+        self.model = model
+        self.index = index
+        self.name = name
+        self.lb = float(lb)
+        self.ub = float(ub)
+        self.is_integer = bool(is_integer)
+
+    # -- conversion ----------------------------------------------------
+    def to_expr(self) -> "LinExpr":
+        """Promote this variable to a single-term linear expression."""
+        return LinExpr({self.index: 1.0}, 0.0, self.model)
+
+    # -- arithmetic (delegates to LinExpr) ------------------------------
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        return self.to_expr() + other
+
+    def __radd__(self, other: ExprLike) -> "LinExpr":
+        return self.to_expr() + other
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        return self.to_expr() - other
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        return (-self.to_expr()) + other
+
+    def __mul__(self, other: Number) -> "LinExpr":
+        return self.to_expr() * other
+
+    def __rmul__(self, other: Number) -> "LinExpr":
+        return self.to_expr() * other
+
+    def __truediv__(self, other: Number) -> "LinExpr":
+        return self.to_expr() / other
+
+    def __neg__(self) -> "LinExpr":
+        return self.to_expr() * -1.0
+
+    # -- comparisons build constraints ----------------------------------
+    def __le__(self, other: ExprLike) -> "Constraint":
+        return self.to_expr() <= other
+
+    def __ge__(self, other: ExprLike) -> "Constraint":
+        return self.to_expr() >= other
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if _is_number(other) or isinstance(other, (Var, LinExpr)):
+            return self.to_expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((id(self.model), self.index))
+
+    def __repr__(self) -> str:
+        kind = "int" if self.is_integer else "cont"
+        return f"Var({self.name!r}, {kind}, [{self.lb}, {self.ub}])"
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff_i * var_i) + constant``.
+
+    Instances are treated as immutable by the public API: every arithmetic
+    operation returns a new expression.  (In-place mutation is used only
+    internally while accumulating.)
+    """
+
+    __slots__ = ("coeffs", "constant", "model")
+
+    def __init__(
+        self,
+        coeffs: Mapping[int, float] | None = None,
+        constant: float = 0.0,
+        model: "Model | None" = None,
+    ) -> None:
+        self.coeffs: dict[int, float] = dict(coeffs) if coeffs else {}
+        self.constant = float(constant)
+        self.model = model
+
+    # -- helpers ---------------------------------------------------------
+    @staticmethod
+    def from_terms(terms: Iterable[tuple[Number, "Var"]], constant: float = 0.0) -> "LinExpr":
+        """Build an expression from ``(coefficient, variable)`` pairs."""
+        expr = LinExpr(constant=constant)
+        for coeff, var in terms:
+            expr._add_var(var, float(coeff))
+        return expr
+
+    def _merge_model(self, other_model: "Model | None") -> "Model | None":
+        if self.model is None:
+            return other_model
+        if other_model is None:
+            return self.model
+        if self.model is not other_model:
+            raise ModelError("cannot combine expressions from different models")
+        return self.model
+
+    def _add_var(self, var: "Var", coeff: float) -> None:
+        self.model = self._merge_model(var.model)
+        new = self.coeffs.get(var.index, 0.0) + coeff
+        if new == 0.0:
+            self.coeffs.pop(var.index, None)
+        else:
+            self.coeffs[var.index] = new
+
+    def copy(self) -> "LinExpr":
+        """An independent copy (mutating it leaves this expression alone)."""
+        return LinExpr(self.coeffs, self.constant, self.model)
+
+    # -- arithmetic -------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        result = self.copy()
+        if _is_number(other):
+            result.constant += float(other)  # type: ignore[arg-type]
+            return result
+        if isinstance(other, Var):
+            result._add_var(other, 1.0)
+            return result
+        if isinstance(other, LinExpr):
+            result.model = result._merge_model(other.model)
+            for idx, coeff in other.coeffs.items():
+                new = result.coeffs.get(idx, 0.0) + coeff
+                if new == 0.0:
+                    result.coeffs.pop(idx, None)
+                else:
+                    result.coeffs[idx] = new
+            result.constant += other.constant
+            return result
+        return NotImplemented  # type: ignore[return-value]
+
+    def __radd__(self, other: ExprLike) -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        if _is_number(other):
+            return self + (-float(other))  # type: ignore[operator]
+        if isinstance(other, Var):
+            return self + (other * -1.0)
+        if isinstance(other, LinExpr):
+            return self + (other * -1.0)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, other: Number) -> "LinExpr":
+        if not _is_number(other):
+            raise ModelError("expressions are linear: can only multiply by a number")
+        scale = float(other)
+        if scale == 0.0:
+            return LinExpr({}, 0.0, self.model)
+        return LinExpr(
+            {idx: coeff * scale for idx, coeff in self.coeffs.items()},
+            self.constant * scale,
+            self.model,
+        )
+
+    def __rmul__(self, other: Number) -> "LinExpr":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: Number) -> "LinExpr":
+        if not _is_number(other):
+            raise ModelError("expressions are linear: can only divide by a number")
+        if other == 0:
+            raise ZeroDivisionError("division of expression by zero")
+        return self * (1.0 / float(other))
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- comparisons build constraints --------------------------------------
+    def __le__(self, other: ExprLike) -> "Constraint":
+        from repro.lp.constraint import Constraint, Sense
+
+        return Constraint.build(self, other, Sense.LE)
+
+    def __ge__(self, other: ExprLike) -> "Constraint":
+        from repro.lp.constraint import Constraint, Sense
+
+        return Constraint.build(self, other, Sense.GE)
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        from repro.lp.constraint import Constraint, Sense
+
+        if _is_number(other) or isinstance(other, (Var, LinExpr)):
+            return Constraint.build(self, other, Sense.EQ)  # type: ignore[arg-type]
+        return NotImplemented
+
+    def __hash__(self) -> int:  # expressions are mutable internally; identity hash
+        return id(self)
+
+    # -- evaluation ----------------------------------------------------------
+    def value(self, assignment) -> float:
+        """Evaluate under ``assignment`` (indexable by variable index)."""
+        total = self.constant
+        for idx, coeff in self.coeffs.items():
+            total += coeff * float(assignment[idx])
+        return total
+
+    def __repr__(self) -> str:
+        if self.model is not None:
+            names = {v.index: v.name for v in self.model.variables}
+            terms = " + ".join(
+                f"{coeff:g}*{names.get(idx, f'x{idx}')}" for idx, coeff in sorted(self.coeffs.items())
+            )
+        else:
+            terms = " + ".join(f"{coeff:g}*x{idx}" for idx, coeff in sorted(self.coeffs.items()))
+        if not terms:
+            return f"LinExpr({self.constant:g})"
+        if self.constant:
+            return f"LinExpr({terms} + {self.constant:g})"
+        return f"LinExpr({terms})"
+
+
+def lin_sum(items: Iterable[ExprLike]) -> LinExpr:
+    """Sum expressions/variables/numbers efficiently (O(total nnz)).
+
+    ``sum()`` over thousands of expressions is quadratic because every ``+``
+    copies the accumulator; this helper accumulates in place.
+    """
+    acc = LinExpr()
+    for item in items:
+        if _is_number(item):
+            acc.constant += float(item)  # type: ignore[arg-type]
+        elif isinstance(item, Var):
+            acc._add_var(item, 1.0)
+        elif isinstance(item, LinExpr):
+            acc.model = acc._merge_model(item.model)
+            for idx, coeff in item.coeffs.items():
+                new = acc.coeffs.get(idx, 0.0) + coeff
+                if new == 0.0:
+                    acc.coeffs.pop(idx, None)
+                else:
+                    acc.coeffs[idx] = new
+            acc.constant += item.constant
+        else:
+            raise ModelError(f"cannot sum object of type {type(item).__name__}")
+    return acc

@@ -1,0 +1,282 @@
+"""The optimization model container.
+
+:class:`Model` owns variables and constraints and exports itself to the dense
+matrix form consumed by both solver backends.  The export is the only place
+where sparse ``{index: coeff}`` dictionaries become numpy arrays — this keeps
+model *construction* cheap (the placement ILP builds tens of thousands of
+terms) and makes the numeric hand-off to solvers a single vectorized step.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.lp.constraint import Constraint, Sense
+from repro.lp.expr import LinExpr, Var
+
+
+class Objective(enum.Enum):
+    """Optimization direction."""
+
+    MINIMIZE = "min"
+    MAXIMIZE = "max"
+
+
+@dataclass
+class DenseForm:
+    """Dense matrix export of a model, in **minimization** convention.
+
+    ``A_ub x <= b_ub``, ``A_eq x = b_eq``, ``lb <= x <= ub``; ``c`` already
+    carries the sign flip for maximization models, and ``sign`` records that
+    flip so objective values can be mapped back (original = sign * min-value).
+    """
+
+    c: np.ndarray
+    A_ub: np.ndarray
+    b_ub: np.ndarray
+    A_eq: np.ndarray
+    b_eq: np.ndarray
+    lb: np.ndarray
+    ub: np.ndarray
+    integrality: np.ndarray  # bool per variable
+    sign: float              # +1 for min models, -1 for max models
+    objective_constant: float
+
+
+class Model:
+    """A linear / mixed-integer optimization model.
+
+    Typical usage::
+
+        m = Model("placement")
+        x = m.add_var("x", lb=0, ub=1, integer=True)
+        y = m.add_var("y", lb=0)
+        m.add_constr(x + 2 * y <= 4, name="cap")
+        m.set_objective(3 * x + y, Objective.MAXIMIZE)
+        sol = repro.lp.solve(m)
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.variables: list[Var] = []
+        self.constraints: list[Constraint] = []
+        self._var_names: set[str] = set()
+        self.objective_expr: LinExpr = LinExpr()
+        self.objective_sense: Objective = Objective.MINIMIZE
+
+    # -- variables ------------------------------------------------------
+    def add_var(
+        self,
+        name: str = "",
+        lb: float = 0.0,
+        ub: float = math.inf,
+        integer: bool = False,
+        binary: bool = False,
+    ) -> Var:
+        """Create and register a decision variable.
+
+        ``binary=True`` is shorthand for an integer variable with bounds
+        [0, 1].  Variable names must be unique within the model (auto-named
+        as ``x<i>`` when empty).
+        """
+        if binary:
+            lb, ub, integer = 0.0, 1.0, True
+        index = len(self.variables)
+        if not name:
+            name = f"x{index}"
+        if name in self._var_names:
+            raise ModelError(f"duplicate variable name {name!r}")
+        var = Var(self, index, name, lb, ub, integer)
+        self.variables.append(var)
+        self._var_names.add(name)
+        return var
+
+    def add_vars(
+        self,
+        count: int,
+        prefix: str,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        integer: bool = False,
+        binary: bool = False,
+    ) -> list[Var]:
+        """Create ``count`` variables named ``prefix[i]``."""
+        return [
+            self.add_var(f"{prefix}[{i}]", lb=lb, ub=ub, integer=integer, binary=binary)
+            for i in range(count)
+        ]
+
+    def var_by_name(self, name: str) -> Var:
+        """Look up a variable by name (O(n); intended for tests/debugging)."""
+        for var in self.variables:
+            if var.name == name:
+                return var
+        raise ModelError(f"no variable named {name!r}")
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_integer_vars(self) -> int:
+        return sum(1 for v in self.variables if v.is_integer)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    # -- constraints -----------------------------------------------------
+    def add_constr(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint built from an expression comparison."""
+        if not isinstance(constraint, Constraint):
+            raise ModelError(
+                f"expected a Constraint (from <=, >= or ==), got {type(constraint).__name__}"
+            )
+        if constraint.model is not None and constraint.model is not self:
+            raise ModelError("constraint references variables from a different model")
+        if name:
+            constraint.name = name
+        elif not constraint.name:
+            constraint.name = f"c{len(self.constraints)}"
+        self.constraints.append(constraint)
+        return constraint
+
+    def add_constrs(self, constraints: Iterable[Constraint], prefix: str = "") -> list[Constraint]:
+        """Register several constraints, named ``prefix[i]`` when given."""
+        out = []
+        for i, constr in enumerate(constraints):
+            out.append(self.add_constr(constr, f"{prefix}[{i}]" if prefix else ""))
+        return out
+
+    # -- objective ---------------------------------------------------------
+    def set_objective(self, expr: LinExpr | Var, sense: Objective = Objective.MINIMIZE) -> None:
+        """Set the objective expression and direction."""
+        if isinstance(expr, Var):
+            expr = expr.to_expr()
+        if not isinstance(expr, LinExpr):
+            raise ModelError(f"objective must be a linear expression, got {type(expr).__name__}")
+        if expr.model is not None and expr.model is not self:
+            raise ModelError("objective references variables from a different model")
+        self.objective_expr = expr
+        self.objective_sense = sense
+
+    # -- evaluation helpers ---------------------------------------------------
+    def objective_value(self, assignment: Sequence[float] | np.ndarray) -> float:
+        """Objective value of an assignment, in the model's own sense."""
+        return self.objective_expr.value(assignment)
+
+    def check_feasible(
+        self,
+        assignment: Sequence[float] | np.ndarray,
+        tol: float = 1e-6,
+        integrality_tol: float = 1e-6,
+    ) -> list[str]:
+        """Return human-readable descriptions of all violated constraints/bounds.
+
+        An empty list means the assignment is feasible.  Used by the
+        randomized-rounding verifier (Algorithm 1's ``Verify_vars``) and by
+        the test suite's cross-backend checks.
+        """
+        problems: list[str] = []
+        arr = np.asarray(assignment, dtype=float)
+        if arr.shape != (self.num_vars,):
+            raise ModelError(
+                f"assignment has shape {arr.shape}, expected ({self.num_vars},)"
+            )
+        for var in self.variables:
+            val = arr[var.index]
+            if val < var.lb - tol or val > var.ub + tol:
+                problems.append(
+                    f"bound: {var.name}={val:g} outside [{var.lb:g}, {var.ub:g}]"
+                )
+            if var.is_integer and abs(val - round(val)) > integrality_tol:
+                problems.append(f"integrality: {var.name}={val:g} is fractional")
+        for constr in self.constraints:
+            violation = constr.violation(arr, tol)
+            if violation > 0.0:
+                problems.append(f"constraint {constr.name}: violated by {violation:g}")
+        return problems
+
+    # -- export ------------------------------------------------------------
+    def to_arrays(self) -> DenseForm:
+        """Export to dense minimization form (see :class:`DenseForm`)."""
+        n = self.num_vars
+        sign = 1.0 if self.objective_sense is Objective.MINIMIZE else -1.0
+
+        c = np.zeros(n)
+        for idx, coeff in self.objective_expr.coeffs.items():
+            c[idx] = sign * coeff
+
+        ub_rows: list[Constraint] = []
+        eq_rows: list[Constraint] = []
+        ub_signs: list[float] = []
+        for constr in self.constraints:
+            if constr.sense is Sense.EQ:
+                eq_rows.append(constr)
+            elif constr.sense is Sense.LE:
+                ub_rows.append(constr)
+                ub_signs.append(1.0)
+            else:  # GE -> negate into LE
+                ub_rows.append(constr)
+                ub_signs.append(-1.0)
+
+        A_ub = np.zeros((len(ub_rows), n))
+        b_ub = np.zeros(len(ub_rows))
+        for row, (constr, row_sign) in enumerate(zip(ub_rows, ub_signs)):
+            for idx, coeff in constr.lhs.coeffs.items():
+                A_ub[row, idx] = row_sign * coeff
+            b_ub[row] = row_sign * constr.rhs
+
+        A_eq = np.zeros((len(eq_rows), n))
+        b_eq = np.zeros(len(eq_rows))
+        for row, constr in enumerate(eq_rows):
+            for idx, coeff in constr.lhs.coeffs.items():
+                A_eq[row, idx] = coeff
+            b_eq[row] = constr.rhs
+
+        lb = np.array([v.lb for v in self.variables])
+        ub = np.array([v.ub for v in self.variables])
+        integrality = np.array([v.is_integer for v in self.variables], dtype=bool)
+        return DenseForm(
+            c=c,
+            A_ub=A_ub,
+            b_ub=b_ub,
+            A_eq=A_eq,
+            b_eq=b_eq,
+            lb=lb,
+            ub=ub,
+            integrality=integrality,
+            sign=sign,
+            objective_constant=self.objective_expr.constant,
+        )
+
+    def relaxed(self) -> "Model":
+        """Return a copy of this model with all integrality dropped.
+
+        This is Algorithm 1's ``Relax_vars()``: the LP relaxation shares the
+        variable ordering with the original model, so a solution vector of
+        one indexes directly into the other.
+        """
+        clone = Model(f"{self.name}-relaxed")
+        for var in self.variables:
+            clone.add_var(var.name, lb=var.lb, ub=var.ub, integer=False)
+        for constr in self.constraints:
+            lhs = LinExpr(constr.lhs.coeffs, 0.0, clone)
+            clone.constraints.append(Constraint(lhs, constr.sense, constr.rhs, constr.name))
+        clone.objective_expr = LinExpr(
+            self.objective_expr.coeffs, self.objective_expr.constant, clone
+        )
+        clone.objective_sense = self.objective_sense
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"Model({self.name!r}, vars={self.num_vars} "
+            f"({self.num_integer_vars} int), constrs={self.num_constraints})"
+        )

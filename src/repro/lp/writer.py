@@ -1,0 +1,112 @@
+"""CPLEX-LP-format export.
+
+``write_lp`` serializes a :class:`~repro.lp.model.Model` to the ubiquitous
+LP text format, so any placement model built here can be inspected by hand
+or fed to an external solver (Gurobi/CPLEX/HiGHS CLI) for cross-checking —
+the reproduction's escape hatch back to the paper's original toolchain.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from repro.lp.constraint import Sense
+from repro.lp.expr import LinExpr
+from repro.lp.model import Model, Objective
+
+
+def _sanitize(name: str) -> str:
+    """LP-format identifiers cannot contain the reserved characters used by
+    our auto-generated names (``[ ] ,``)."""
+    out = []
+    for ch in name:
+        if ch.isalnum() or ch in "_.":
+            out.append(ch)
+        else:
+            out.append("_")
+    text = "".join(out)
+    if not text or text[0].isdigit():
+        text = "v_" + text
+    return text
+
+
+def _format_expr(expr: LinExpr, names: dict[int, str]) -> str:
+    if not expr.coeffs:
+        return "0"
+    parts: list[str] = []
+    for idx in sorted(expr.coeffs):
+        coeff = expr.coeffs[idx]
+        name = names[idx]
+        if not parts:
+            if coeff == 1.0:
+                parts.append(name)
+            elif coeff == -1.0:
+                parts.append(f"- {name}")
+            else:
+                parts.append(f"{coeff:g} {name}")
+            continue
+        sign = "+" if coeff >= 0 else "-"
+        magnitude = abs(coeff)
+        if magnitude == 1.0:
+            parts.append(f"{sign} {name}")
+        else:
+            parts.append(f"{sign} {magnitude:g} {name}")
+    return " ".join(parts)
+
+
+def model_to_lp_string(model: Model) -> str:
+    """Render ``model`` in CPLEX LP format."""
+    names = {v.index: _sanitize(v.name) for v in model.variables}
+    if len(set(names.values())) != len(names):
+        # Disambiguate collisions introduced by sanitization.
+        seen: dict[str, int] = {}
+        for idx in sorted(names):
+            base = names[idx]
+            if base in seen:
+                seen[base] += 1
+                names[idx] = f"{base}_{seen[base]}"
+            else:
+                seen[base] = 0
+
+    lines: list[str] = []
+    lines.append(
+        "Maximize" if model.objective_sense is Objective.MAXIMIZE else "Minimize"
+    )
+    lines.append(f" obj: {_format_expr(model.objective_expr, names)}")
+    lines.append("Subject To")
+    for constr in model.constraints:
+        op = {Sense.LE: "<=", Sense.GE: ">=", Sense.EQ: "="}[constr.sense]
+        lines.append(
+            f" {_sanitize(constr.name)}: "
+            f"{_format_expr(constr.lhs, names)} {op} {constr.rhs:g}"
+        )
+
+    bounds: list[str] = []
+    for var in model.variables:
+        name = names[var.index]
+        lb_default = 0.0
+        if var.lb == lb_default and math.isinf(var.ub):
+            continue  # LP-format default bound
+        lb = "-inf" if math.isinf(var.lb) else f"{var.lb:g}"
+        ub = "+inf" if math.isinf(var.ub) else f"{var.ub:g}"
+        bounds.append(f" {lb} <= {name} <= {ub}")
+    if bounds:
+        lines.append("Bounds")
+        lines.extend(bounds)
+
+    integers = [names[v.index] for v in model.variables if v.is_integer]
+    if integers:
+        lines.append("Generals")
+        # LP format wraps long lines; keep <= 8 names per line.
+        for i in range(0, len(integers), 8):
+            lines.append(" " + " ".join(integers[i : i + 8]))
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+def write_lp(model: Model, path: str | Path) -> Path:
+    """Write ``model`` to ``path`` in LP format; returns the path."""
+    path = Path(path)
+    path.write_text(model_to_lp_string(model))
+    return path

@@ -1,0 +1,26 @@
+"""Library of P4-style network functions.
+
+Each NF type in the provider catalog (:func:`repro.core.spec.default_nf_catalog`)
+has a definition here: how to build its physical match-action table for a
+stage (with the SFP tenant/pass classifier fields prepended), how to express
+its logic as a multi-table P4 program for the :mod:`repro.p4` layer, and a
+seeded generator of realistic tenant rule sets.
+"""
+
+from repro.nfs.base import NFDefinition
+from repro.nfs.registry import (
+    NF_REGISTRY,
+    get_nf,
+    install_layout,
+    install_physical_nf,
+    nf_names,
+)
+
+__all__ = [
+    "NFDefinition",
+    "NF_REGISTRY",
+    "get_nf",
+    "install_layout",
+    "install_physical_nf",
+    "nf_names",
+]

@@ -1,0 +1,72 @@
+"""Base class for NF definitions.
+
+An :class:`NFDefinition` describes one provider NF type:
+
+* :meth:`match_fields` — the NF-specific part of the match key (SFP prepends
+  ``tenant_id`` and ``pass_id`` when building the *physical* table, §IV);
+* :meth:`make_physical_table` — the virtualized per-stage table;
+* :meth:`generate_rules` — a seeded generator of plausible tenant rules
+  (used by workload synthesis and the data-plane experiments);
+* :meth:`p4_tables` — the NF's logical table structure for the
+  :mod:`repro.p4` dependency/allocation layer (most NFs are one big table;
+  the load balancer is three, per the paper's Fig. 2).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.dataplane.table import MatchActionTable, MatchField, MatchKind, TableEntry
+from repro.dataplane.virtualization import physical_table_name
+from repro.rng import make_rng
+
+
+class NFDefinition(abc.ABC):
+    """One NF type in the provider catalog."""
+
+    #: Unique name (matches the catalog in :mod:`repro.core.spec`).
+    name: str = ""
+    #: 1-based type id aligned with the default catalog ordering.
+    type_id: int = 0
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def match_fields(self) -> list[MatchField]:
+        """NF-specific match key components (without tenant/pass)."""
+
+    @abc.abstractmethod
+    def generate_rules(
+        self, rng: int | np.random.Generator | None, count: int
+    ) -> list[TableEntry]:
+        """``count`` plausible tenant rules (without tenant/pass fields)."""
+
+    # ------------------------------------------------------------------
+    def make_physical_table(self, stage: int) -> MatchActionTable:
+        """The virtualized physical table for this NF at ``stage``:
+        tenant/pass classifier fields + the NF's own key, defaulting to the
+        §IV "No-Ops" forward-to-next-stage rule."""
+        key = [
+            MatchField("tenant_id", MatchKind.EXACT),
+            MatchField("pass_id", MatchKind.EXACT),
+            *self.match_fields(),
+        ]
+        return MatchActionTable(
+            name=physical_table_name(self.name, stage),
+            key=key,
+            default_action="no_op",
+        )
+
+    def p4_tables(self) -> list[tuple[str, list[str], list[str]]]:
+        """Logical P4 table structure as ``(table, reads, writes)`` triples
+        for dependency analysis.  Default: one big table reading the NF's
+        match fields and writing nothing."""
+        return [(f"tab_{self.name}", [f.name for f in self.match_fields()], [])]
+
+    # ------------------------------------------------------------------
+    def _rng(self, rng) -> np.random.Generator:
+        return make_rng(rng)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, type_id={self.type_id})"

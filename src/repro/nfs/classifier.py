@@ -1,0 +1,40 @@
+"""Traffic classifier: mark DSCP by flow aggregate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataplane.table import MatchField, MatchKind, TableEntry
+from repro.nfs.base import NFDefinition
+
+
+class TrafficClassifier(NFDefinition):
+    name = "traffic_classifier"
+    type_id = 3
+
+    def match_fields(self) -> list[MatchField]:
+        return [
+            MatchField("src_ip", MatchKind.TERNARY),
+            MatchField("dst_port", MatchKind.RANGE),
+            MatchField("protocol", MatchKind.EXACT),
+        ]
+
+    def generate_rules(self, rng, count: int) -> list[TableEntry]:
+        rng = self._rng(rng)
+        rules: list[TableEntry] = []
+        for _ in range(count):
+            src = int(0x0A000000 + rng.integers(0, 2**24))
+            lo = int(rng.choice(np.array([0, 1024, 49152])))
+            hi = {0: 1023, 1024: 49151, 49152: 65535}[lo]
+            rules.append(
+                TableEntry(
+                    match={
+                        "src_ip": (src, 0xFFFFFF00),
+                        "dst_port": (lo, hi),
+                        "protocol": int(rng.choice(np.array([6, 17]))),
+                    },
+                    action="set_dscp",
+                    params={"dscp": int(rng.integers(0, 64))},
+                )
+            )
+        return rules

@@ -1,0 +1,50 @@
+"""Stateless 5-tuple ACL firewall (P4Guard-style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataplane.table import MatchField, MatchKind, TableEntry
+from repro.nfs.base import NFDefinition
+
+
+class Firewall(NFDefinition):
+    """Ternary 5-tuple ACL: explicit permits and denies, miss = permit
+    (the physical table's ``no_op`` default forwards)."""
+
+    name = "firewall"
+    type_id = 1
+
+    def match_fields(self) -> list[MatchField]:
+        return [
+            MatchField("src_ip", MatchKind.TERNARY),
+            MatchField("dst_ip", MatchKind.TERNARY),
+            MatchField("src_port", MatchKind.RANGE),
+            MatchField("dst_port", MatchKind.RANGE),
+            MatchField("protocol", MatchKind.EXACT),
+        ]
+
+    def generate_rules(self, rng, count: int) -> list[TableEntry]:
+        rng = self._rng(rng)
+        rules: list[TableEntry] = []
+        full = 0xFFFFFFFF
+        for _ in range(count):
+            deny = rng.random() < 0.5
+            src = int(0x0A000000 + rng.integers(0, 2**24))
+            dst = int(0x0A000000 + rng.integers(0, 2**24))
+            # Mask some rules down to /24-style ternary wildcards.
+            src_mask = full if rng.random() < 0.5 else 0xFFFFFF00
+            dport = int(rng.choice(np.array([22, 53, 80, 443, 8080])))
+            rules.append(
+                TableEntry(
+                    match={
+                        "src_ip": (src, src_mask),
+                        "dst_ip": (dst, full),
+                        "dst_port": (dport, dport),
+                        "protocol": 6,
+                    },
+                    action="drop" if deny else "permit",
+                    priority=10 if deny else 5,
+                )
+            )
+        return rules

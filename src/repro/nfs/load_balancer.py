@@ -1,0 +1,53 @@
+"""L4 load balancer (SilkRoad-style).
+
+Logically three tables, exactly as the paper's Fig. 2 walks through:
+``tab_lb`` (VIP + specific-flow pinning), ``tab_lbhash`` (flow hashing) and
+``tab_lbselect`` (pool pick).  The physical/placement view treats the NF as
+one big table (§VII "Multiple-table NFs"), so the physical table is the VIP
+table; the hash/select behaviour collapses into the ``set_dst`` action's
+backend choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataplane.table import MatchField, MatchKind, TableEntry
+from repro.nfs.base import NFDefinition
+
+
+class LoadBalancer(NFDefinition):
+    name = "load_balancer"
+    type_id = 2
+
+    def match_fields(self) -> list[MatchField]:
+        return [
+            MatchField("dst_ip", MatchKind.EXACT),
+            MatchField("dst_port", MatchKind.EXACT),
+            MatchField("protocol", MatchKind.EXACT),
+        ]
+
+    def p4_tables(self) -> list[tuple[str, list[str], list[str]]]:
+        # Fig. 2: tab_lb reads the VIP and may rewrite dst; on miss, the hash
+        # and select tables pick a backend.  tab_lbhash writes the hash
+        # metadata tab_lbselect reads -> a read/write dependency chain.
+        return [
+            ("tab_lb", ["dst_ip", "dst_port", "protocol"], ["dst_ip", "dst_port"]),
+            ("tab_lbhash", ["src_ip", "src_port"], ["hash"]),
+            ("tab_lbselect", ["hash"], ["dst_ip", "dst_port"]),
+        ]
+
+    def generate_rules(self, rng, count: int) -> list[TableEntry]:
+        rng = self._rng(rng)
+        rules: list[TableEntry] = []
+        for _ in range(count):
+            vip = int(0x0A640000 + rng.integers(0, 2**14))
+            backend = int(0x0AC80000 + rng.integers(0, 2**14))
+            rules.append(
+                TableEntry(
+                    match={"dst_ip": vip, "dst_port": 80, "protocol": 6},
+                    action="set_dst",
+                    params={"dst_ip": backend, "dst_port": 8080},
+                )
+            )
+        return rules

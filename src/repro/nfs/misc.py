@@ -1,0 +1,122 @@
+"""The remaining catalog NFs: VPN gateway, cache index, DDoS detector,
+monitor.  Functionally thin (match + mark/count/forward actions) but with
+realistic match keys and rule shapes, so placement and virtualization
+experiments exercise ten genuinely distinct table layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataplane.table import MatchField, MatchKind, TableEntry
+from repro.nfs.base import NFDefinition
+
+
+class VPNGateway(NFDefinition):
+    """IPsec-style site gateway: match remote subnets, rewrite to the
+    tunnel endpoint (modeled as a destination rewrite)."""
+
+    name = "vpn_gateway"
+    type_id = 7
+
+    def match_fields(self) -> list[MatchField]:
+        return [MatchField("dst_ip", MatchKind.LPM)]
+
+    def generate_rules(self, rng, count: int) -> list[TableEntry]:
+        rng = self._rng(rng)
+        rules = []
+        for _ in range(count):
+            prefix = int(0xAC100000 + (rng.integers(0, 2**12) << 8))  # 172.16/12 subnets
+            endpoint = int(0xCB007100 + rng.integers(0, 2**8))        # 203.0.113/24
+            rules.append(
+                TableEntry(
+                    match={"dst_ip": (prefix, 24)},
+                    action="set_dst",
+                    params={"dst_ip": endpoint},
+                )
+            )
+        return rules
+
+
+class CacheIndex(NFDefinition):
+    """NetCache-style index: exact-match on the (server, port) serving a
+    hot key partition; hit marks the packet for on-switch service."""
+
+    name = "cache_index"
+    type_id = 8
+
+    def match_fields(self) -> list[MatchField]:
+        return [
+            MatchField("dst_ip", MatchKind.EXACT),
+            MatchField("dst_port", MatchKind.EXACT),
+        ]
+
+    def generate_rules(self, rng, count: int) -> list[TableEntry]:
+        rng = self._rng(rng)
+        rules = []
+        for idx in range(count):
+            server = int(0x0AC80000 + rng.integers(0, 2**14))
+            rules.append(
+                TableEntry(
+                    match={"dst_ip": server, "dst_port": 11211},
+                    action="count",
+                    params={"counter": f"cache_hit_{idx % 64}"},
+                )
+            )
+        return rules
+
+
+class DDoSDetector(NFDefinition):
+    """Threshold heavy-hitter detector: suspicious sources get dropped."""
+
+    name = "ddos_detector"
+    type_id = 9
+
+    def match_fields(self) -> list[MatchField]:
+        return [
+            MatchField("src_ip", MatchKind.TERNARY),
+            MatchField("dst_port", MatchKind.EXACT),
+        ]
+
+    def p4_tables(self) -> list[tuple[str, list[str], list[str]]]:
+        return [(f"tab_{self.name}", ["src_ip", "dst_port"], ["hh_sketch"])]
+
+    def generate_rules(self, rng, count: int) -> list[TableEntry]:
+        rng = self._rng(rng)
+        rules = []
+        for _ in range(count):
+            src = int(rng.integers(0, 2**32))
+            rules.append(
+                TableEntry(
+                    match={"src_ip": (src, 0xFFFFFF00), "dst_port": 80},
+                    action="drop",
+                    priority=20,
+                )
+            )
+        return rules
+
+
+class Monitor(NFDefinition):
+    """Per-aggregate byte/packet counters."""
+
+    name = "monitor"
+    type_id = 10
+
+    def match_fields(self) -> list[MatchField]:
+        return [
+            MatchField("dst_ip", MatchKind.TERNARY),
+            MatchField("protocol", MatchKind.EXACT),
+        ]
+
+    def generate_rules(self, rng, count: int) -> list[TableEntry]:
+        rng = self._rng(rng)
+        rules = []
+        for idx in range(count):
+            dst = int(0x0A000000 + rng.integers(0, 2**24))
+            rules.append(
+                TableEntry(
+                    match={"dst_ip": (dst, 0xFFFFFF00), "protocol": int(rng.choice(np.array([6, 17])))},
+                    action="count",
+                    params={"counter": f"agg_{idx % 128}"},
+                )
+            )
+        return rules

@@ -1,0 +1,32 @@
+"""Source NAT."""
+
+from __future__ import annotations
+
+from repro.dataplane.table import MatchField, MatchKind, TableEntry
+from repro.nfs.base import NFDefinition
+
+
+class NAT(NFDefinition):
+    name = "nat"
+    type_id = 6
+
+    def match_fields(self) -> list[MatchField]:
+        return [
+            MatchField("src_ip", MatchKind.EXACT),
+            MatchField("protocol", MatchKind.EXACT),
+        ]
+
+    def generate_rules(self, rng, count: int) -> list[TableEntry]:
+        rng = self._rng(rng)
+        rules: list[TableEntry] = []
+        for _ in range(count):
+            inside = int(0x0A000000 + rng.integers(0, 2**24))
+            outside = int(0xC6336400 + rng.integers(0, 2**8))  # 198.51.100/24
+            rules.append(
+                TableEntry(
+                    match={"src_ip": inside, "protocol": 6},
+                    action="snat",
+                    params={"src_ip": outside, "src_port": int(rng.integers(1024, 65536))},
+                )
+            )
+        return rules

@@ -1,0 +1,41 @@
+"""Token-bucket rate limiter (on-switch rate-limiter style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataplane.table import MatchField, MatchKind, TableEntry
+from repro.nfs.base import NFDefinition
+
+
+class RateLimiter(NFDefinition):
+    name = "rate_limiter"
+    type_id = 5
+
+    def match_fields(self) -> list[MatchField]:
+        return [
+            MatchField("src_ip", MatchKind.TERNARY),
+            MatchField("protocol", MatchKind.EXACT),
+        ]
+
+    def p4_tables(self) -> list[tuple[str, list[str], list[str]]]:
+        # The limiter reads and writes its bucket register state.
+        return [(f"tab_{self.name}", ["src_ip", "protocol"], ["bucket_state"])]
+
+    def generate_rules(self, rng, count: int) -> list[TableEntry]:
+        rng = self._rng(rng)
+        rules: list[TableEntry] = []
+        for idx in range(count):
+            src = int(0x0A000000 + rng.integers(0, 2**24))
+            rules.append(
+                TableEntry(
+                    match={"src_ip": (src, 0xFFFFFF00), "protocol": 6},
+                    action="rate_limit",
+                    params={
+                        "bucket": f"b{idx}",
+                        "rate_pps": int(rng.integers(10_000, 1_000_000)),
+                        "burst": int(rng.integers(100, 10_000)),
+                    },
+                )
+            )
+        return rules

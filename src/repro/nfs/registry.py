@@ -1,0 +1,74 @@
+"""NF registry: type name / type id -> definition, plus install helpers."""
+
+from __future__ import annotations
+
+from repro.dataplane.pipeline import SwitchPipeline
+from repro.errors import DataPlaneError
+from repro.nfs.base import NFDefinition
+from repro.nfs.classifier import TrafficClassifier
+from repro.nfs.firewall import Firewall
+from repro.nfs.load_balancer import LoadBalancer
+from repro.nfs.misc import CacheIndex, DDoSDetector, Monitor, VPNGateway
+from repro.nfs.nat import NAT
+from repro.nfs.rate_limiter import RateLimiter
+from repro.nfs.router import Router
+
+#: All catalog NFs, ordered by type_id (aligned with
+#: :func:`repro.core.spec.default_nf_catalog`).
+NF_REGISTRY: dict[str, NFDefinition] = {
+    nf.name: nf
+    for nf in (
+        Firewall(),
+        LoadBalancer(),
+        TrafficClassifier(),
+        Router(),
+        RateLimiter(),
+        NAT(),
+        VPNGateway(),
+        CacheIndex(),
+        DDoSDetector(),
+        Monitor(),
+    )
+}
+
+_BY_TYPE_ID = {nf.type_id: nf for nf in NF_REGISTRY.values()}
+
+
+def nf_names() -> list[str]:
+    """Catalog NF names in type-id order."""
+    return [_BY_TYPE_ID[i].name for i in sorted(_BY_TYPE_ID)]
+
+
+def get_nf(key: str | int) -> NFDefinition:
+    """Look an NF up by name or 1-based type id."""
+    if isinstance(key, int):
+        nf = _BY_TYPE_ID.get(key)
+    else:
+        nf = NF_REGISTRY.get(key)
+    if nf is None:
+        raise DataPlaneError(f"unknown NF {key!r}")
+    return nf
+
+
+def install_physical_nf(
+    pipeline: SwitchPipeline, nf: str | int | NFDefinition, stage: int
+) -> None:
+    """Install an NF's physical (virtualized) table on a pipeline stage,
+    reserving its boot-time SRAM block (§IV "Install Physical NFs")."""
+    definition = nf if isinstance(nf, NFDefinition) else get_nf(nf)
+    table = definition.make_physical_table(stage)
+    pipeline.stage(stage).install_table(table)
+
+
+def install_layout(pipeline: SwitchPipeline, physical) -> None:
+    """Install a whole physical layout (the placement's boolean ``(I, S)``
+    matrix) onto a pipeline."""
+    num_types, num_stages = physical.shape
+    if num_stages != pipeline.num_stages:
+        raise DataPlaneError(
+            f"layout has {num_stages} stages, pipeline has {pipeline.num_stages}"
+        )
+    for i in range(num_types):
+        for s in range(num_stages):
+            if physical[i, s]:
+                install_physical_nf(pipeline, i + 1, s)

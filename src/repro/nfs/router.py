@@ -1,0 +1,31 @@
+"""LPM IPv4 router."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataplane.table import MatchField, MatchKind, TableEntry
+from repro.nfs.base import NFDefinition
+
+
+class Router(NFDefinition):
+    name = "router"
+    type_id = 4
+
+    def match_fields(self) -> list[MatchField]:
+        return [MatchField("dst_ip", MatchKind.LPM)]
+
+    def generate_rules(self, rng, count: int) -> list[TableEntry]:
+        rng = self._rng(rng)
+        rules: list[TableEntry] = []
+        for _ in range(count):
+            length = int(rng.choice(np.array([16, 20, 24, 28, 32]), p=[0.1, 0.2, 0.5, 0.1, 0.1]))
+            prefix = int(rng.integers(0, 2**32)) & (((1 << length) - 1) << (32 - length))
+            rules.append(
+                TableEntry(
+                    match={"dst_ip": (prefix, length)},
+                    action="forward",
+                    params={"port": int(rng.integers(0, 32))},
+                )
+            )
+        return rules

@@ -1,0 +1,32 @@
+"""P4-like program intermediate representation.
+
+§II-B of the paper explains how a P4 program's match-action tables map onto
+the physical pipeline: tables with read/write dependencies must be applied on
+consecutive stages, while independent tables may share an MAU.  This package
+provides just enough of that compiler layer to ground SFP's assumptions:
+
+* :mod:`repro.p4.ir` — tables, conditionals and a sequential/branching
+  control flow (Fig. 2's example is expressible),
+* :mod:`repro.p4.dependency` — the table dependency graph (match / action /
+  reverse-match edges, per the TDG of Jose et al., NSDI'15),
+* :mod:`repro.p4.allocate` — a list-scheduling allocator packing tables into
+  the fewest stages consistent with the dependency kinds and per-stage
+  capacity, reporting how many (sub-)stages each NF spans.
+"""
+
+from repro.p4.allocate import StageAllocation, allocate_stages
+from repro.p4.codegen import generate_p4
+from repro.p4.dependency import DependencyKind, build_dependency_graph
+from repro.p4.ir import P4Condition, P4Program, P4Table, chain_program
+
+__all__ = [
+    "DependencyKind",
+    "P4Condition",
+    "P4Program",
+    "P4Table",
+    "StageAllocation",
+    "allocate_stages",
+    "build_dependency_graph",
+    "chain_program",
+    "generate_p4",
+]

@@ -1,0 +1,90 @@
+"""Table-to-stage allocation.
+
+A list scheduler over the dependency graph: each table (in topological /
+program order) is placed on the earliest stage that satisfies all its
+dependency gaps and the per-stage table capacity — mirroring how switch
+compilers pack independent tables into one MAU and spread dependent ones
+across consecutive stages (§II-B).  The result also reports how many stages
+each NF's tables span, which is what the placement model means by an NF
+"viewed as several sub-NFs" when it spans multiple stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import ResourceExhaustedError
+from repro.p4.dependency import build_dependency_graph
+from repro.p4.ir import P4Program
+
+
+@dataclass
+class StageAllocation:
+    """Outcome of :func:`allocate_stages`."""
+
+    #: table name -> 0-based stage.
+    stages: dict[str, int] = field(default_factory=dict)
+    num_stages_available: int = 0
+
+    @property
+    def num_stages_used(self) -> int:
+        return 1 + max(self.stages.values()) if self.stages else 0
+
+    def tables_by_stage(self) -> dict[int, list[str]]:
+        """Stage index -> names of the tables packed into that MAU."""
+        out: dict[int, list[str]] = {}
+        for table, stage in self.stages.items():
+            out.setdefault(stage, []).append(table)
+        return out
+
+    def span(self, prefix: str) -> int:
+        """Number of stages spanned by tables whose name starts with
+        ``prefix`` (e.g. one NF's ``nf2_`` tables)."""
+        hit = [s for t, s in self.stages.items() if t.startswith(prefix)]
+        if not hit:
+            return 0
+        return max(hit) - min(hit) + 1
+
+
+def allocate_stages(
+    program: P4Program,
+    num_stages: int = 12,
+    tables_per_stage: int = 8,
+) -> StageAllocation:
+    """Assign every table of ``program`` to a stage.
+
+    Raises :class:`ResourceExhaustedError` when the program cannot fit the
+    ``num_stages`` x ``tables_per_stage`` budget.
+    """
+    graph = build_dependency_graph(program)
+    # Program order is a valid topological order (edges only go forward).
+    order = [t.name for t in program.tables()]
+    allocation = StageAllocation(num_stages_available=num_stages)
+    load = [0] * num_stages
+
+    for name in order:
+        earliest = 0
+        for pred, _, data in graph.in_edges(name, data=True):
+            earliest = max(earliest, allocation.stages[pred] + data["min_gap"])
+        stage = None
+        for candidate in range(earliest, num_stages):
+            if load[candidate] < tables_per_stage:
+                stage = candidate
+                break
+        if stage is None:
+            raise ResourceExhaustedError(
+                f"table {name!r} needs a stage >= {earliest} with capacity; "
+                f"none of the {num_stages} stages has room"
+            )
+        allocation.stages[name] = stage
+        load[stage] += 1
+    return allocation
+
+
+def nf_stage_spans(program: P4Program, allocation: StageAllocation) -> dict[str, int]:
+    """Stages spanned per NF position for a :func:`repro.p4.ir.chain_program`
+    program (tables named ``nf<j>_...``)."""
+    prefixes = sorted({name.split("_", 1)[0] for name in allocation.stages})
+    return {prefix: allocation.span(prefix + "_") for prefix in prefixes}

@@ -1,0 +1,84 @@
+"""Table dependency analysis.
+
+Implements the table dependency graph (TDG) classification of "Compiling
+Packet Programs to Reconfigurable Switches" (Jose et al., NSDI'15), which the
+paper's §II-B paraphrases:
+
+* **MATCH dependency** — an earlier table *writes* a field a later table's
+  match *reads*: the later table must be in a strictly later stage.
+* **ACTION dependency** — both tables *write* the same field: the later
+  write must land in a strictly later stage so it wins.
+* **REVERSE_MATCH dependency** — an earlier table *reads* a field a later
+  table *writes*: they may share a stage (the match uses the pre-action
+  value) but the later table must not be placed earlier.
+* **NONE** — independent tables; freely placeable, may share an MAU.
+
+Only program order creates dependencies (the earlier table in application
+order is the edge source).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import networkx as nx
+
+from repro.p4.ir import P4Program
+
+
+class DependencyKind(enum.Enum):
+    MATCH = "match"
+    ACTION = "action"
+    REVERSE_MATCH = "reverse_match"
+
+    @property
+    def min_stage_gap(self) -> int:
+        """Minimum stage distance the edge imposes (1 = strictly later,
+        0 = same stage allowed)."""
+        return 0 if self is DependencyKind.REVERSE_MATCH else 1
+
+
+def classify(earlier, later) -> DependencyKind | None:
+    """Dependency kind from ``earlier`` to ``later`` (program order), or
+    ``None`` when independent.  When multiple kinds apply the strictest
+    (match > action > reverse-match) wins."""
+    e_writes = set(earlier.writes)
+    if e_writes & set(later.reads):
+        return DependencyKind.MATCH
+    if e_writes & set(later.writes):
+        return DependencyKind.ACTION
+    if set(earlier.reads) & set(later.writes):
+        return DependencyKind.REVERSE_MATCH
+    return None
+
+
+def build_dependency_graph(program: P4Program) -> nx.DiGraph:
+    """The TDG of ``program``: nodes are table names, edges carry
+    ``kind`` (:class:`DependencyKind`) and ``min_gap`` attributes."""
+    tables = program.tables()
+    graph = nx.DiGraph()
+    for table in tables:
+        graph.add_node(table.name, reads=table.reads, writes=table.writes)
+    for i, earlier in enumerate(tables):
+        for later in tables[i + 1 :]:
+            kind = classify(earlier, later)
+            if kind is not None:
+                graph.add_edge(
+                    earlier.name,
+                    later.name,
+                    kind=kind,
+                    min_gap=kind.min_stage_gap,
+                )
+    return graph
+
+
+def critical_path_stages(graph: nx.DiGraph) -> int:
+    """Minimum number of stages the program needs under unlimited per-stage
+    capacity: 1 + the longest min-gap-weighted path."""
+    if graph.number_of_nodes() == 0:
+        return 0
+    depth = {node: 0 for node in nx.topological_sort(graph)}
+    for node in nx.topological_sort(graph):
+        for _, successor, data in graph.out_edges(node, data=True):
+            depth[successor] = max(depth[successor], depth[node] + data["min_gap"])
+    return 1 + max(depth.values())

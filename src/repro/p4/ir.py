@@ -1,0 +1,108 @@
+"""P4 program IR: tables, conditionals, control flow.
+
+The model is the fragment of P4-14 the paper's Fig. 2 uses: an ingress
+control applying tables in sequence, with ``if``-conditions gating
+sub-controls.  Tables carry the header/metadata fields their match *reads*
+and their actions *write* — that is all the dependency analysis and stage
+allocation need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Union
+
+from repro.errors import DataPlaneError
+
+
+@dataclass(frozen=True)
+class P4Table:
+    """One logical match-action table."""
+
+    name: str
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DataPlaneError("P4 table needs a name")
+        object.__setattr__(self, "reads", tuple(self.reads))
+        object.__setattr__(self, "writes", tuple(self.writes))
+
+
+@dataclass(frozen=True)
+class P4Condition:
+    """An if-else gate: ``if (<predicate over fields>) then ... else ...``.
+
+    On hardware this becomes a gateway entry in an MAU; its read fields
+    participate in dependencies like a table's match."""
+
+    predicate: str
+    reads: tuple[str, ...]
+    then_branch: tuple["ControlNode", ...] = ()
+    else_branch: tuple["ControlNode", ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "reads", tuple(self.reads))
+        object.__setattr__(self, "then_branch", tuple(self.then_branch))
+        object.__setattr__(self, "else_branch", tuple(self.else_branch))
+
+
+ControlNode = Union[P4Table, P4Condition]
+
+
+@dataclass
+class P4Program:
+    """An ingress control: an ordered list of tables / gated sub-controls."""
+
+    name: str
+    nodes: list[ControlNode] = field(default_factory=list)
+
+    def tables(self) -> list[P4Table]:
+        """All tables in program (application) order, descending into
+        branches then-before-else."""
+        out: list[P4Table] = []
+
+        def walk(nodes: Sequence[ControlNode]) -> None:
+            for node in nodes:
+                if isinstance(node, P4Table):
+                    out.append(node)
+                else:
+                    walk(node.then_branch)
+                    walk(node.else_branch)
+
+        walk(self.nodes)
+        names = [t.name for t in out]
+        if len(set(names)) != len(names):
+            raise DataPlaneError(f"duplicate table names in program: {names}")
+        return out
+
+    def table_by_name(self, name: str) -> P4Table:
+        """Find a table by name; raises if the program has none."""
+        for table in self.tables():
+            if table.name == name:
+                return table
+        raise DataPlaneError(f"no table named {name!r} in program {self.name!r}")
+
+
+def chain_program(nf_definitions: Iterable, name: str = "sfc") -> P4Program:
+    """Compose NF definitions into one sequential SFC program (the paper's
+    Fig. 2 structure, minus the outer tcp/udp gate which callers can add
+    with :class:`P4Condition`).
+
+    ``nf_definitions`` are :class:`repro.nfs.base.NFDefinition` objects (or
+    anything exposing ``p4_tables()``); each contributes its logical tables
+    in order.  Table names are prefixed with the NF position to keep
+    multi-instance chains unambiguous.
+    """
+    nodes: list[ControlNode] = []
+    for position, nf in enumerate(nf_definitions):
+        for table_name, reads, writes in nf.p4_tables():
+            nodes.append(
+                P4Table(
+                    name=f"nf{position}_{table_name}",
+                    reads=tuple(reads),
+                    writes=tuple(writes),
+                )
+            )
+    return P4Program(name=name, nodes=nodes)

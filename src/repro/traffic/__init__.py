@@ -1,0 +1,40 @@
+"""Synthetic workloads and traffic.
+
+The paper synthesizes its SFC dataset (§VI-A): random chains over 10 NF
+types, per-NF rule counts uniform in [100, 2100], long-tail per-chain
+bandwidth, and data-center packet-size mixes for the data-plane experiments.
+This package is that generator, fully seeded.
+"""
+
+from repro.traffic.distributions import (
+    PacketSizeMix,
+    lognormal_bandwidth,
+    pareto_bandwidth,
+)
+from repro.traffic.flows import Flow, FlowGenerator
+from repro.traffic.trace import (
+    ReplayStats,
+    Trace,
+    TraceRecord,
+    replay,
+    synthesize_trace,
+    trace_from_generator,
+)
+from repro.traffic.workload import WorkloadConfig, make_instance, make_sfcs
+
+__all__ = [
+    "Flow",
+    "FlowGenerator",
+    "PacketSizeMix",
+    "ReplayStats",
+    "Trace",
+    "TraceRecord",
+    "WorkloadConfig",
+    "lognormal_bandwidth",
+    "make_instance",
+    "make_sfcs",
+    "pareto_bandwidth",
+    "replay",
+    "synthesize_trace",
+    "trace_from_generator",
+]

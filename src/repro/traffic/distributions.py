@@ -1,0 +1,98 @@
+"""Stochastic building blocks for workload synthesis.
+
+* **Long-tail bandwidth** — the paper says "the bandwidth requirement of each
+  NF follows the long-tail distribution" (§VI-A).  Two standard heavy-tailed
+  choices are provided: truncated lognormal (default) and bounded Pareto.
+* **Packet-size mix** — the data-plane experiments sweep 64–1500 B packets
+  "that cover most packet size [IMC'10]"; the IMC'10 data-center study found
+  a bimodal mix (many small ACK-ish packets, many near-MTU packets), which
+  :class:`PacketSizeMix` reproduces for trace generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.rng import make_rng
+
+#: Packet sizes (bytes) the paper's Fig. 4/5 sweep.
+PAPER_PACKET_SIZES = (64, 128, 256, 512, 1024, 1500)
+
+
+def lognormal_bandwidth(
+    rng: int | np.random.Generator | None,
+    count: int,
+    mean_gbps: float = 8.0,
+    sigma: float = 1.0,
+    min_gbps: float = 0.5,
+    max_gbps: float = 100.0,
+) -> np.ndarray:
+    """Draw ``count`` long-tail bandwidth demands (Gbps), lognormal with the
+    requested arithmetic mean, truncated to [min, max].
+
+    The lognormal ``mu`` is solved from ``mean = exp(mu + sigma^2/2)`` so the
+    *pre-truncation* mean equals ``mean_gbps``.
+    """
+    if count < 0:
+        raise WorkloadError(f"count must be >= 0, got {count}")
+    if mean_gbps <= 0 or min_gbps <= 0 or max_gbps < min_gbps:
+        raise WorkloadError("bandwidth parameters must be positive with max >= min")
+    rng = make_rng(rng)
+    mu = np.log(mean_gbps) - sigma**2 / 2.0
+    draws = rng.lognormal(mean=mu, sigma=sigma, size=count)
+    return np.clip(draws, min_gbps, max_gbps)
+
+
+def pareto_bandwidth(
+    rng: int | np.random.Generator | None,
+    count: int,
+    shape: float = 1.5,
+    scale_gbps: float = 2.0,
+    max_gbps: float = 100.0,
+) -> np.ndarray:
+    """Bounded-Pareto alternative for the long-tail bandwidth demand."""
+    if count < 0:
+        raise WorkloadError(f"count must be >= 0, got {count}")
+    if shape <= 0 or scale_gbps <= 0 or max_gbps < scale_gbps:
+        raise WorkloadError("invalid Pareto parameters")
+    rng = make_rng(rng)
+    draws = scale_gbps * (1.0 + rng.pareto(shape, size=count))
+    return np.clip(draws, scale_gbps, max_gbps)
+
+
+@dataclass(frozen=True)
+class PacketSizeMix:
+    """A discrete packet-size distribution.
+
+    The default follows the IMC'10 data-center observation of a bimodal
+    shape: a heavy cluster of minimum-size packets and a cluster near the
+    MTU, with a thin middle.
+    """
+
+    sizes: tuple[int, ...] = (64, 128, 256, 512, 1024, 1500)
+    weights: tuple[float, ...] = (0.45, 0.10, 0.05, 0.05, 0.10, 0.25)
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.weights):
+            raise WorkloadError("sizes and weights must have the same length")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise WorkloadError("weights must be non-negative and sum > 0")
+        if any(s <= 0 for s in self.sizes):
+            raise WorkloadError("packet sizes must be positive")
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        w = np.asarray(self.weights, dtype=float)
+        return w / w.sum()
+
+    @property
+    def mean_bytes(self) -> float:
+        return float(np.asarray(self.sizes) @ self.probabilities)
+
+    def sample(self, rng: int | np.random.Generator | None, count: int) -> np.ndarray:
+        """Draw ``count`` packet sizes (bytes)."""
+        rng = make_rng(rng)
+        return rng.choice(np.asarray(self.sizes), size=count, p=self.probabilities)

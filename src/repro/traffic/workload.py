@@ -1,0 +1,115 @@
+"""SFC dataset synthesis — the paper's §VI-A recipe.
+
+"Each SFC randomly chooses different NFs to compose the chain, and the number
+of rules for each NF uniformly ranges from 100 to 2100; the bandwidth
+requirement ... follows the long-tail distribution."  Chain lengths are drawn
+around a configurable average (the paper uses averages of 5 and a fixed 8 for
+the recirculation study); NF types within one chain are sampled without
+replacement ("different NFs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.spec import SFC, ProblemInstance, SwitchSpec
+from repro.errors import WorkloadError
+from repro.rng import make_rng
+from repro.traffic.distributions import lognormal_bandwidth
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the §VI-A generator, defaulting to the paper's values."""
+
+    num_sfcs: int = 25
+    num_types: int = 10
+    avg_chain_length: int = 5
+    #: 0 -> every chain has exactly ``avg_chain_length`` NFs; otherwise
+    #: lengths are uniform in [avg - spread, avg + spread].
+    chain_length_spread: int = 2
+    rules_min: int = 100
+    rules_max: int = 2100
+    #: Long-tail bandwidth demand.  The mean/cap are calibrated so the
+    #: paper's regime holds: instances are memory-bound up to L~30-40 and
+    #: the 400 Gbps backplane starts binding around L~50 (Figs. 6/10).
+    mean_bandwidth_gbps: float = 6.0
+    bandwidth_sigma: float = 1.0
+    min_bandwidth_gbps: float = 0.5
+    max_bandwidth_gbps: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.num_sfcs < 0:
+            raise WorkloadError("num_sfcs must be >= 0")
+        if self.num_types < 1:
+            raise WorkloadError("num_types must be >= 1")
+        lo = self.avg_chain_length - self.chain_length_spread
+        hi = self.avg_chain_length + self.chain_length_spread
+        if lo < 1:
+            raise WorkloadError(
+                f"chain length range [{lo}, {hi}] dips below 1; reduce spread"
+            )
+        if hi > self.num_types:
+            raise WorkloadError(
+                f"chain length range [{lo}, {hi}] exceeds the {self.num_types} "
+                "distinct NF types (chains sample types without replacement)"
+            )
+        if not 0 <= self.rules_min <= self.rules_max:
+            raise WorkloadError("need 0 <= rules_min <= rules_max")
+
+    def with_num_sfcs(self, n: int) -> "WorkloadConfig":
+        """A copy of this config with a different candidate count."""
+        return replace(self, num_sfcs=n)
+
+
+def make_sfcs(
+    config: WorkloadConfig, rng: int | np.random.Generator | None = None
+) -> list[SFC]:
+    """Generate ``config.num_sfcs`` chains per the paper's recipe."""
+    rng = make_rng(rng)
+    lo = config.avg_chain_length - config.chain_length_spread
+    hi = config.avg_chain_length + config.chain_length_spread
+    lengths = rng.integers(lo, hi + 1, size=config.num_sfcs)
+    bandwidths = lognormal_bandwidth(
+        rng,
+        config.num_sfcs,
+        mean_gbps=config.mean_bandwidth_gbps,
+        sigma=config.bandwidth_sigma,
+        min_gbps=config.min_bandwidth_gbps,
+        max_gbps=config.max_bandwidth_gbps,
+    )
+    sfcs: list[SFC] = []
+    for l in range(config.num_sfcs):
+        length = int(lengths[l])
+        types = rng.choice(
+            np.arange(1, config.num_types + 1), size=length, replace=False
+        )
+        rules = rng.integers(config.rules_min, config.rules_max + 1, size=length)
+        sfcs.append(
+            SFC(
+                name=f"sfc-{l}",
+                tenant_id=l,
+                nf_types=tuple(int(t) for t in types),
+                rules=tuple(int(r) for r in rules),
+                bandwidth_gbps=float(bandwidths[l]),
+            )
+        )
+    return sfcs
+
+
+def make_instance(
+    config: WorkloadConfig,
+    switch: SwitchSpec | None = None,
+    max_recirculations: int = 2,
+    rng: int | np.random.Generator | None = None,
+) -> ProblemInstance:
+    """Generate a full placement problem (paper defaults: 8 stages, 20
+    blocks of 1000 entries per stage, 400 Gbps backplane)."""
+    return ProblemInstance(
+        switch=switch if switch is not None else SwitchSpec(),
+        sfcs=tuple(make_sfcs(config, rng)),
+        num_types=config.num_types,
+        max_recirculations=max_recirculations,
+    )

@@ -1,0 +1,99 @@
+"""Tests for the DPDK software-baseline cost model (Fig. 4/5 calibration)."""
+
+import pytest
+
+from repro.baseline import CpuSpec, DpdkChainModel, ServerSpec
+from repro.errors import WorkloadError
+
+
+class TestCpuSpec:
+    def test_cycles_scale_with_chain_length(self):
+        cpu = CpuSpec()
+        assert cpu.cycles_per_packet(4) > cpu.cycles_per_packet(1)
+        assert cpu.cycles_per_packet(0) == cpu.io_cycles_per_packet
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            CpuSpec(freq_hz=0)
+        with pytest.raises(WorkloadError):
+            CpuSpec(io_cycles_per_packet=-1)
+        with pytest.raises(WorkloadError):
+            CpuSpec().cycles_per_packet(-1)
+
+
+class TestServerSpec:
+    def test_paper_cpu_utilization(self):
+        # §VI-B: 17 of 56 cores = 30.35%.
+        assert ServerSpec().cpu_utilization == pytest.approx(17 / 56)
+
+    def test_core_budget_validated(self):
+        with pytest.raises(WorkloadError):
+            ServerSpec(total_cores=8, worker_cores=16)
+
+    def test_max_pps_scales_with_cores(self):
+        wide = ServerSpec(worker_cores=32)
+        narrow = ServerSpec(worker_cores=16)
+        assert wide.max_pps(4) == pytest.approx(2 * narrow.max_pps(4))
+
+
+class TestDpdkChainModel:
+    def test_pps_bound_at_small_packets(self):
+        m = DpdkChainModel()
+        small = m.throughput_gbps(100.0, 64)
+        # >=10x below the line rate (the paper's headline gap).
+        assert small <= 10.0
+
+    def test_line_rate_only_at_mtu(self):
+        m = DpdkChainModel()
+        assert m.throughput_gbps(100.0, 1500) == pytest.approx(100.0)
+        for size in (64, 128, 256, 512, 1024):
+            assert m.throughput_gbps(100.0, size) < 100.0
+
+    def test_throughput_monotone_in_size(self):
+        m = DpdkChainModel()
+        values = [m.throughput_gbps(100.0, s) for s in (64, 256, 1024, 1500)]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_throughput_bounded_by_offered(self):
+        m = DpdkChainModel()
+        assert m.throughput_gbps(3.0, 64) == pytest.approx(3.0)
+
+    def test_mpps_capped_by_core_budget(self):
+        m = DpdkChainModel()
+        assert m.throughput_mpps(100.0, 64) == pytest.approx(m.max_pps / 1e6, rel=1e-6)
+
+    def test_latency_calibration(self):
+        # ~1151 ns for the 4-NF chain at low load (paper average).
+        assert DpdkChainModel().latency_ns() == pytest.approx(1151.0)
+
+    def test_latency_grows_with_chain_length(self):
+        assert DpdkChainModel(chain_length=8).latency_ns() > DpdkChainModel(
+            chain_length=2
+        ).latency_ns()
+
+    def test_latency_inflates_near_saturation(self):
+        m = DpdkChainModel()
+        relaxed = m.latency_ns(1.0, 1500)
+        saturated = m.latency_ns(100.0, 64)
+        assert saturated > relaxed
+        # Bounded by the queue-factor cap.
+        cap = m.nic_latency_ns + m.chain_length * m.nf_latency_ns * m.max_queue_factor
+        assert saturated <= cap + 1e-9
+
+    def test_shorter_chain_is_faster(self):
+        short = DpdkChainModel(chain_length=2)
+        long = DpdkChainModel(chain_length=6)
+        assert short.max_pps > long.max_pps
+
+    def test_resource_report(self):
+        report = DpdkChainModel().resource_report()
+        assert report["memory_mb"] == pytest.approx(722.0)
+        assert report["cores_used"] == 17.0
+
+    def test_negative_offered_rejected(self):
+        with pytest.raises(WorkloadError):
+            DpdkChainModel().throughput_gbps(-1.0, 64)
+
+    def test_negative_chain_rejected(self):
+        with pytest.raises(WorkloadError):
+            DpdkChainModel(chain_length=-1)

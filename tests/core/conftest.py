@@ -1,0 +1,30 @@
+"""Shared fixtures for control-plane tests: small, fast instances."""
+
+import pytest
+
+from repro.core.spec import SFC, ProblemInstance, SwitchSpec
+
+
+@pytest.fixture()
+def tiny_switch():
+    """3 stages x 4 blocks of 100 entries, 100 Gbps backplane."""
+    return SwitchSpec(
+        stages=3,
+        blocks_per_stage=4,
+        block_bits=6400,
+        rule_bits=64,
+        capacity_gbps=100.0,
+    )
+
+
+@pytest.fixture()
+def tiny_instance(tiny_switch):
+    """3 NF types, 3 chains; chain 2 needs a fold (reverse order)."""
+    sfcs = (
+        SFC(name="a", nf_types=(1, 2), rules=(50, 50), bandwidth_gbps=10.0),
+        SFC(name="b", nf_types=(2, 3), rules=(80, 20), bandwidth_gbps=20.0),
+        SFC(name="c", nf_types=(3, 1), rules=(30, 30), bandwidth_gbps=5.0),
+    )
+    return ProblemInstance(
+        switch=tiny_switch, sfcs=sfcs, num_types=3, max_recirculations=1
+    )

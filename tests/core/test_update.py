@@ -1,0 +1,113 @@
+"""Tests for the runtime update engine (§V-E)."""
+
+import pytest
+
+from repro.core.greedy import greedy_place
+from repro.core.spec import SFC, ProblemInstance
+from repro.core.update import RuntimeUpdater
+from repro.core.verify import check_placement
+from repro.errors import PlacementError
+
+
+@pytest.fixture()
+def live(tiny_instance):
+    placement = greedy_place(tiny_instance)
+    assert placement.num_placed == 3
+    return RuntimeUpdater(placement)
+
+
+def test_remove_releases_resources(live, tiny_instance):
+    before_entries = live.state.entries.sum()
+    before_bw = live.state.backplane_gbps
+    removed = live.remove([0])
+    assert removed == [0]
+    assert live.state.entries.sum() == before_entries - tiny_instance.sfcs[0].total_rules
+    assert live.state.backplane_gbps < before_bw
+    assert 0 not in live.placement.assignments
+
+
+def test_remove_unknown_is_noop(live):
+    assert live.remove([99]) == []
+
+
+def test_remove_keeps_physical_nfs(live):
+    physical_before = live.state.physical.copy()
+    live.remove([0, 1, 2])
+    assert (live.state.physical == physical_before).all()
+
+
+def test_readmit_after_departure(live):
+    live.remove([0])
+    result = live.admit()
+    assert 0 in result.added
+    assert live.placement.num_placed == 3
+    assert check_placement(live.placement) == []
+
+
+def test_admit_with_candidate_filter(live):
+    live.remove([0, 1])
+    result = live.admit(candidates=[1])
+    assert result.added == [1]
+    assert 0 not in live.placement.assignments
+
+
+def test_admit_never_disturbs_survivors(live):
+    survivors = {
+        l: asg.stages for l, asg in live.placement.assignments.items() if l != 0
+    }
+    live.remove([0])
+    live.admit()
+    for l, stages in survivors.items():
+        assert live.placement.assignments[l].stages == stages
+
+
+def test_modify_is_remove_plus_admit(tiny_instance):
+    placement = greedy_place(tiny_instance)
+    updater = RuntimeUpdater(placement)
+    result = updater.modify(0, 0)  # re-place the same chain
+    assert result.removed == [0]
+    assert result.added == [0]
+    assert check_placement(updater.placement) == []
+
+
+def test_threshold_triggers_reconfiguration(tiny_instance):
+    placement = greedy_place(tiny_instance)
+    updater = RuntimeUpdater(
+        placement,
+        reconfigure_threshold=0.1,
+        reference_solver=lambda inst: greedy_place(inst),
+    )
+    # Remove everything, then admit nothing (empty candidate set) -> current
+    # objective 0, reference > 0 -> gap 1.0 > 0.1 -> full re-place adopted.
+    updater.remove([0, 1, 2])
+    result = updater.admit(candidates=[])
+    assert result.reconfigured
+    assert result.reference_objective > 0
+    assert updater.placement.num_placed == 3
+
+
+def test_threshold_without_reference_solver_raises(tiny_instance):
+    placement = greedy_place(tiny_instance)
+    updater = RuntimeUpdater(placement, reconfigure_threshold=0.1)
+    with pytest.raises(PlacementError):
+        updater.admit()
+
+
+def test_no_reconfiguration_when_within_threshold(tiny_instance):
+    placement = greedy_place(tiny_instance)
+    updater = RuntimeUpdater(
+        placement,
+        reconfigure_threshold=0.5,
+        reference_solver=lambda inst: greedy_place(inst),
+    )
+    result = updater.admit()  # already optimal under greedy's own reference
+    assert not result.reconfigured
+
+
+def test_update_keeps_feasibility_under_churn(tiny_instance):
+    placement = greedy_place(tiny_instance)
+    updater = RuntimeUpdater(placement)
+    for drop in ([0], [1, 2], [0, 1]):
+        updater.remove(drop)
+        updater.admit()
+        assert check_placement(updater.placement) == []

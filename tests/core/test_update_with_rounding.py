@@ -1,0 +1,49 @@
+"""Runtime update driven by the rounding solver as the reference — the
+configuration a production deployment of §V-E would actually run."""
+
+import pytest
+
+from repro.core.greedy import greedy_place
+from repro.core.rounding import solve_with_rounding
+from repro.core.update import RuntimeUpdater
+from repro.core.verify import check_placement
+
+
+@pytest.fixture()
+def updater(tiny_instance):
+    placement = solve_with_rounding(tiny_instance, rng=3).placement
+    assert placement.num_placed >= 2
+    return RuntimeUpdater(
+        placement,
+        reconfigure_threshold=0.2,
+        reference_solver=lambda inst: solve_with_rounding(inst, rng=4).placement,
+    )
+
+
+def test_rounding_seeded_updater_churns_feasibly(updater):
+    updater.remove(list(updater.placement.assignments)[:1])
+    result = updater.admit()
+    assert check_placement(updater.placement) == []
+    # Either the incremental fill was good enough or the reference replaced it.
+    if result.reconfigured:
+        assert result.reference_objective is not None
+
+
+def test_reference_objective_reported_when_threshold_set(updater):
+    result = updater.admit()
+    assert result.reference_objective is not None
+    assert result.reference_objective >= 0
+
+
+def test_reconfiguration_adopts_reference_assignments(tiny_instance):
+    initial = greedy_place(tiny_instance, skip={0, 1})  # deliberately poor
+    reference = solve_with_rounding(tiny_instance, rng=5).placement
+    updater = RuntimeUpdater(
+        initial,
+        reconfigure_threshold=0.05,
+        reference_solver=lambda inst: reference,
+    )
+    result = updater.admit(candidates=[])
+    if result.reconfigured:
+        assert updater.placement.objective == pytest.approx(reference.objective)
+        assert check_placement(updater.placement) == []

@@ -1,0 +1,60 @@
+"""Tests for the calibrated ASIC performance model."""
+
+import pytest
+
+from repro.core.spec import SwitchSpec
+from repro.dataplane.latency import AsicModel
+from repro.errors import DataPlaneError
+
+
+def test_paper_calibration_points():
+    m = AsicModel()
+    assert m.latency_ns(passes=1) == pytest.approx(341.0)
+    # Three recirculations cost ~35 ns (paper §VI-C).
+    assert m.latency_ns(passes=4) - m.latency_ns(passes=1) == pytest.approx(35.1)
+
+
+def test_latency_monotone_in_passes():
+    m = AsicModel()
+    values = [m.latency_ns(p) for p in range(1, 6)]
+    assert all(a < b for a, b in zip(values, values[1:]))
+
+
+def test_invalid_passes():
+    with pytest.raises(DataPlaneError):
+        AsicModel().latency_ns(0)
+
+
+def test_throughput_saturates_port_at_all_sizes():
+    m = AsicModel()
+    for size in (64, 128, 512, 1500):
+        assert m.throughput_gbps(100.0, size) == pytest.approx(100.0)
+
+
+def test_throughput_bounded_by_offered_load():
+    m = AsicModel()
+    assert m.throughput_gbps(40.0, 64) == pytest.approx(40.0)
+
+
+def test_recirculation_halves_pps_budget():
+    m = AsicModel()
+    assert m.max_pps(2) == pytest.approx(m.max_pps(1) / 2)
+
+
+def test_from_spec_uses_switch_parameters():
+    spec = SwitchSpec(stages=12, stage_latency_ns=30.0)
+    m = AsicModel.from_spec(spec)
+    assert m.stages == 12
+    assert m.latency_ns(1) == pytest.approx(70.0 + 71.0 + 12 * 30.0)
+
+
+def test_negative_offered_load_rejected():
+    with pytest.raises(DataPlaneError):
+        AsicModel().throughput_gbps(-1.0, 64)
+
+
+def test_invalid_model_parameters():
+    with pytest.raises(DataPlaneError):
+        AsicModel(stages=0)
+    with pytest.raises(DataPlaneError):
+        AsicModel(stage_ns=-1.0)

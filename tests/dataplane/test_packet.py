@@ -1,0 +1,60 @@
+"""Unit tests for packets and per-packet metadata."""
+
+import pytest
+
+from repro.dataplane.packet import Packet, PacketResult
+from repro.errors import DataPlaneError
+
+
+def test_defaults():
+    p = Packet()
+    assert p.pass_id == 1
+    assert not p.recirculate
+    assert not p.dropped
+    assert p.egress_port is None
+
+
+def test_get_set_field():
+    p = Packet(src_ip=5)
+    assert p.get_field("src_ip") == 5
+    p.set_field("dst_ip", 7)
+    assert p.dst_ip == 7
+
+
+def test_unknown_field_rejected():
+    p = Packet()
+    with pytest.raises(DataPlaneError):
+        p.get_field("ttl")
+    with pytest.raises(DataPlaneError):
+        p.set_field("ttl", 1)
+
+
+def test_pass_id_not_writable_by_actions():
+    p = Packet()
+    with pytest.raises(DataPlaneError):
+        p.set_field("pass_id", 2)
+
+
+def test_size_validation():
+    with pytest.raises(DataPlaneError):
+        Packet(size_bytes=0)
+
+
+def test_pass_id_one_based():
+    with pytest.raises(DataPlaneError):
+        Packet(pass_id=0)
+
+
+def test_five_tuple():
+    p = Packet(src_ip=1, dst_ip=2, src_port=3, dst_port=4, protocol=17)
+    assert p.five_tuple() == (1, 2, 3, 4, 17)
+
+
+def test_result_properties():
+    p = Packet()
+    r = PacketResult(packet=p, passes=3, trace=[(1, 0, "t", "no_op"), (2, 0, "t", "drop")])
+    assert r.recirculations == 2
+    assert r.delivered
+    assert r.applied_tables() == ["t"]  # only the non-no_op application
+    p.dropped = True
+    assert not r.delivered

@@ -1,0 +1,115 @@
+"""Tests for stateful externs: registers, counters, meters."""
+
+import pytest
+
+from repro.dataplane.registers import (
+    CounterArray,
+    MeterArray,
+    MeterColor,
+    RegisterArray,
+)
+from repro.errors import DataPlaneError
+
+
+class TestRegisterArray:
+    def test_read_write(self):
+        reg = RegisterArray("r", 4)
+        reg.write(2, 99)
+        assert reg.read(2) == 99
+        assert reg.read(0) == 0
+
+    def test_width_masking(self):
+        reg = RegisterArray("r", 2, width_bits=8)
+        reg.write(0, 0x1FF)
+        assert reg.read(0) == 0xFF
+
+    def test_read_modify_write(self):
+        reg = RegisterArray("r", 1)
+        assert reg.read_modify_write(0, lambda v: v + 5) == 5
+        assert reg.read_modify_write(0, lambda v: v * 2) == 10
+
+    def test_bounds(self):
+        reg = RegisterArray("r", 2)
+        with pytest.raises(DataPlaneError):
+            reg.read(2)
+        with pytest.raises(DataPlaneError):
+            reg.write(-1, 0)
+
+    def test_total_bits(self):
+        assert RegisterArray("r", 10, width_bits=16).total_bits == 160
+
+    def test_clear(self):
+        reg = RegisterArray("r", 3)
+        reg.write(1, 7)
+        reg.clear()
+        assert reg.read(1) == 0
+
+    def test_validation(self):
+        with pytest.raises(DataPlaneError):
+            RegisterArray("r", 0)
+        with pytest.raises(DataPlaneError):
+            RegisterArray("r", 1, width_bits=65)
+
+
+class TestCounterArray:
+    def test_count_packets_and_bytes(self):
+        c = CounterArray("c", 2)
+        c.count(0, 64)
+        c.count(0, 1500)
+        assert c.read(0) == (2, 1564)
+        assert c.read(1) == (0, 0)
+
+    def test_bounds(self):
+        c = CounterArray("c", 1)
+        with pytest.raises(DataPlaneError):
+            c.count(1, 64)
+        with pytest.raises(DataPlaneError):
+            c.read(5)
+
+    def test_size_validated(self):
+        with pytest.raises(DataPlaneError):
+            CounterArray("c", 0)
+
+
+class TestMeterArray:
+    def test_green_within_committed_rate(self):
+        # 8 Mbps committed = 1 MB/s; burst 10 kB.
+        m = MeterArray("m", 1, committed_bps=8e6, burst_bytes=10_000)
+        assert m.execute(0, 1000, now_ns=0) is MeterColor.GREEN
+
+    def test_burst_exhaustion_goes_yellow_then_red(self):
+        # committed 8 Mbps = 0.001 B/ns, peak 16 Mbps = 0.002 B/ns.
+        m = MeterArray("m", 1, committed_bps=8e6, peak_bps=16e6, burst_bytes=1500)
+        assert m.execute(0, 1500, now_ns=0) is MeterColor.GREEN  # drains both
+        # After 0.5 ms: committed refilled 500 B, peak 1000 B.
+        assert m.execute(0, 600, now_ns=500_000) is MeterColor.YELLOW
+        assert m.execute(0, 600, now_ns=500_000) is MeterColor.RED
+
+    def test_tokens_refill_over_time(self):
+        m = MeterArray("m", 1, committed_bps=8e9, burst_bytes=1500)
+        assert m.execute(0, 1500, now_ns=0) is MeterColor.GREEN
+        assert m.execute(0, 1500, now_ns=1) is not MeterColor.GREEN
+        # 8 Gbps = 1 byte/ns: after 1500 ns the bucket is full again.
+        assert m.execute(0, 1500, now_ns=3000) is MeterColor.GREEN
+
+    def test_independent_indices(self):
+        m = MeterArray("m", 2, committed_bps=8e6, burst_bytes=1500)
+        assert m.execute(0, 1500, 0) is MeterColor.GREEN
+        assert m.execute(1, 1500, 0) is MeterColor.GREEN
+
+    def test_time_must_not_go_backwards(self):
+        m = MeterArray("m", 1, committed_bps=8e6)
+        m.execute(0, 100, now_ns=1000)
+        with pytest.raises(DataPlaneError):
+            m.execute(0, 100, now_ns=500)
+
+    def test_validation(self):
+        with pytest.raises(DataPlaneError):
+            MeterArray("m", 0, committed_bps=1e6)
+        with pytest.raises(DataPlaneError):
+            MeterArray("m", 1, committed_bps=0)
+        with pytest.raises(DataPlaneError):
+            MeterArray("m", 1, committed_bps=2e6, peak_bps=1e6)
+        m = MeterArray("m", 1, committed_bps=1e6)
+        with pytest.raises(DataPlaneError):
+            m.execute(5, 100, 0)

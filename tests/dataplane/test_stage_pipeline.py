@@ -1,0 +1,161 @@
+"""Tests for MAU stages and the multi-pass pipeline."""
+
+import pytest
+
+from repro.core.spec import SwitchSpec
+from repro.dataplane.action import default_actions
+from repro.dataplane.packet import Packet
+from repro.dataplane.pipeline import SwitchPipeline
+from repro.dataplane.stage import Stage
+from repro.dataplane.table import MatchActionTable, MatchField, MatchKind, TableEntry
+from repro.errors import DataPlaneError
+
+
+def _table(name, action="drop", match=None, **params):
+    t = MatchActionTable(
+        name, key=[MatchField("protocol", MatchKind.EXACT)]
+    )
+    t.insert(TableEntry(match=match or {"protocol": 6}, action=action, params=params))
+    return t
+
+
+class TestStage:
+    def test_install_reserves_block(self):
+        stage = Stage(0)
+        stage.install_table(_table("fw"))
+        assert stage.resources.blocks_used == 1
+        assert stage.table("fw").name == "fw"
+
+    def test_duplicate_table_rejected(self):
+        stage = Stage(0)
+        stage.install_table(_table("fw"))
+        with pytest.raises(DataPlaneError):
+            stage.install_table(_table("fw"))
+
+    def test_remove_table_releases(self):
+        stage = Stage(0)
+        stage.install_table(_table("fw"))
+        stage.remove_table("fw")
+        assert stage.resources.blocks_used == 0
+        with pytest.raises(DataPlaneError):
+            stage.table("fw")
+
+    def test_apply_runs_tables_in_order(self):
+        stage = Stage(0)
+        stage.install_table(_table("classify", action="set_dscp", dscp=7))
+        stage.install_table(_table("fw", action="drop"))
+        p = Packet(protocol=6)
+        trace = []
+        stage.apply(p, default_actions(), pass_id=1, trace=trace)
+        assert p.dscp == 7 and p.dropped
+        assert [t for (_, _, t, _) in trace] == ["classify", "fw"]
+
+    def test_apply_stops_after_drop(self):
+        stage = Stage(0)
+        stage.install_table(_table("fw", action="drop"))
+        stage.install_table(_table("classify", action="set_dscp", dscp=7))
+        p = Packet(protocol=6)
+        stage.apply(p, default_actions(), pass_id=1)
+        assert p.dropped and p.dscp == 0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(DataPlaneError):
+            Stage(-1)
+
+
+class TestPipeline:
+    def _pipeline(self, stages=3, max_passes=3):
+        return SwitchPipeline(
+            spec=SwitchSpec(stages=stages, blocks_per_stage=4),
+            max_passes=max_passes,
+        )
+
+    def test_stage_count_from_spec(self):
+        assert self._pipeline(stages=5).num_stages == 5
+
+    def test_process_single_pass(self):
+        pl = self._pipeline()
+        pl.stage(0).install_table(_table("mark", action="set_dscp", dscp=3))
+        result = pl.process(Packet(protocol=6), trace=True)
+        assert result.passes == 1
+        assert result.packet.dscp == 3
+        assert result.latency_ns > 0
+
+    def test_recirculation_increments_pass(self):
+        pl = self._pipeline()
+        # A rule that recirculates on pass 1 only.
+        t = MatchActionTable(
+            "rec",
+            key=[
+                MatchField("pass_id", MatchKind.EXACT),
+                MatchField("protocol", MatchKind.EXACT),
+            ],
+        )
+        t.insert(TableEntry(match={"pass_id": 1, "protocol": 6}, action="no_op",
+                            params={"rec": True}))
+        pl.stage(2).install_table(t)
+        result = pl.process(Packet(protocol=6))
+        assert result.passes == 2
+        assert result.packet.pass_id == 2
+        assert result.recirculations == 1
+
+    def test_max_passes_caps_recirculation(self):
+        pl = self._pipeline(max_passes=2)
+        t = MatchActionTable("rec", key=[MatchField("protocol", MatchKind.EXACT)])
+        # Always asks to recirculate -> capped at max_passes.
+        t.insert(TableEntry(match={"protocol": 6}, action="no_op", params={"rec": True}))
+        pl.stage(0).install_table(t)
+        result = pl.process(Packet(protocol=6))
+        assert result.passes == 2
+        assert pl.recirculation_overflows == 1
+
+    def test_dropped_packet_stops(self):
+        pl = self._pipeline()
+        pl.stage(0).install_table(_table("fw", action="drop"))
+        pl.stage(1).install_table(_table("mark", action="set_dscp", dscp=9))
+        result = pl.process(Packet(protocol=6))
+        assert result.packet.dropped and result.packet.dscp == 0
+
+    def test_find_table(self):
+        pl = self._pipeline()
+        pl.stage(1).install_table(_table("fw"))
+        stage, table = pl.find_table("fw")
+        assert stage.index == 1 and table.name == "fw"
+        with pytest.raises(DataPlaneError):
+            pl.find_table("nope")
+
+    def test_stage_bounds(self):
+        pl = self._pipeline()
+        with pytest.raises(DataPlaneError):
+            pl.stage(99)
+
+    def test_latency_grows_with_passes(self):
+        pl = self._pipeline()
+        t = MatchActionTable(
+            "rec",
+            key=[MatchField("pass_id", MatchKind.EXACT)],
+        )
+        t.insert(TableEntry(match={"pass_id": 1}, action="no_op", params={"rec": True}))
+        pl.stage(0).install_table(t)
+        double = pl.process(Packet())
+        single = pl.process(Packet())  # pass 2 rule absent -> single pass now?
+        # First packet recirculated once; a fresh packet still matches the
+        # pass-1 rule, so compare against an explicitly single-pass packet:
+        clean = SwitchPipeline(spec=SwitchSpec(stages=3, blocks_per_stage=4))
+        base = clean.process(Packet())
+        assert double.latency_ns > base.latency_ns
+
+    def test_process_batch(self):
+        pl = self._pipeline()
+        results = pl.process_batch([Packet(), Packet()])
+        assert len(results) == 2
+
+    def test_invalid_max_passes(self):
+        with pytest.raises(DataPlaneError):
+            SwitchPipeline(max_passes=0)
+
+    def test_totals(self):
+        pl = self._pipeline()
+        pl.stage(0).install_table(_table("fw"))
+        assert pl.total_entries() == 1
+        assert pl.blocks_used_by_stage() == [1, 0, 0]

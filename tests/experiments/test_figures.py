@@ -1,0 +1,81 @@
+"""Smoke + shape tests for the figure runners (tiny parameters).
+
+The benchmarks run the figures at quick/paper scale; these tests pin the
+runners' *interfaces* — columns, notes, determinism — at minimal scale so
+the suite stays fast.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig4_throughput,
+    fig5_latency,
+    fig6_num_sfcs,
+    fig7_recirculation,
+    fig8_solver_runtime,
+    fig9_early_termination,
+    fig10_algorithms,
+    fig11_runtime_update,
+)
+
+
+class TestFig4:
+    def test_columns_and_saturation(self):
+        r = fig4_throughput.run(packet_sizes=(64, 1500), seed=1)
+        assert r.column("packet_bytes") == [64, 1500]
+        assert all(v == pytest.approx(100.0) for v in r.column("sfp_gbps"))
+        assert r.rows[0]["speedup"] > r.rows[1]["speedup"]
+
+    def test_functional_check_runs_packets(self):
+        check = fig4_throughput.functional_check(seed=2, packets=32)
+        assert check["packets"] == 32
+        assert check["delivered"] + check["dropped"] == 32
+        assert check["entries_installed"] > 0
+
+    def test_notes_mention_offload_footprint(self):
+        r = fig4_throughput.run(packet_sizes=(64,), seed=1)
+        assert any("722" in n for n in r.notes)
+
+
+class TestFig5:
+    def test_recirculation_probe_makes_four_passes(self):
+        assert fig5_latency.recirculating_passes(seed=1) == 4
+
+    def test_series_values(self):
+        r = fig5_latency.run(packet_sizes=(64,), seed=1)
+        row = r.rows[0]
+        assert row["sfp_ns"] < row["sfp_recir_ns"] < row["dpdk_ns"]
+
+
+class TestPlacementFigures:
+    def test_fig6_minimal(self):
+        r = fig6_num_sfcs.run(l_values=(6,), trials=1, seed=3)
+        assert r.column("num_sfcs") == [6]
+        assert r.rows[0]["sfp_entry_util"] >= r.rows[0]["base_entry_util"]
+
+    def test_fig7_minimal(self):
+        r = fig7_recirculation.run(recirculations=(0, 1), trials=1, seed=3)
+        assert r.column("virtual_stages") == [8, 16]
+
+    def test_fig8_minimal(self):
+        r = fig8_solver_runtime.run(l_values=(4,), trials=1, seed=3,
+                                    ilp_time_limit=60.0)
+        row = r.rows[0]
+        assert row["ilp_seconds"] > 0 and row["appro_seconds"] > 0
+        assert row["appro_objective"] <= row["ilp_objective"] + 1e-6
+
+    def test_fig9_minimal(self):
+        r = fig9_early_termination.run(time_limits=(30.0,), num_sfcs=5, seed=3)
+        assert r.rows[0]["throughput_gbps"] > 0
+        assert r.rows[0]["placed"] > 0
+
+    def test_fig10_minimal_without_ilp(self):
+        r = fig10_algorithms.run(l_values=(6,), trials=1, seed=3, include_ilp=False)
+        assert "ilp_gbps" not in r.columns
+        assert r.rows[0]["appro_gbps"] >= 0
+
+    def test_fig11_minimal(self):
+        r = fig11_runtime_update.run(drop_rates=(0.5,), trials=1, seed=3)
+        row = r.rows[0]
+        assert row["updated_gbps"] >= row["origin_gbps"] - 1e-6
+        assert row["dropped"] >= 1

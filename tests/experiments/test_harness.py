@@ -1,0 +1,58 @@
+"""Tests for the experiment harness plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import ExperimentResult, mean_over_trials, run_trials
+
+
+class TestExperimentResult:
+    def test_add_row_validates_columns(self):
+        r = ExperimentResult("t", "d", columns=["a", "b"])
+        r.add_row(a=1, b=2.5)
+        with pytest.raises(ValueError):
+            r.add_row(a=1)
+        assert r.column("b") == [2.5]
+
+    def test_extra_keys_dropped(self):
+        r = ExperimentResult("t", "d", columns=["a"])
+        r.add_row(a=1, junk=9)
+        assert r.rows == [{"a": 1}]
+
+    def test_format_table_contains_everything(self):
+        r = ExperimentResult("t", "desc", columns=["x", "y"])
+        r.add_row(x=1, y=2.345)
+        r.notes.append("hello")
+        text = r.format_table()
+        assert "desc" in text
+        assert "2.35" in text  # default float format
+        assert "note: hello" in text
+
+    def test_format_empty_table(self):
+        r = ExperimentResult("t", "d", columns=["x"])
+        assert "x" in r.format_table()
+
+
+class TestTrials:
+    def test_run_trials_gets_independent_streams(self):
+        draws = run_trials(lambda rng: {"v": float(rng.random())}, 3, seed=1)
+        values = [d["v"] for d in draws]
+        assert len(set(values)) == 3
+
+    def test_run_trials_deterministic(self):
+        a = run_trials(lambda rng: {"v": float(rng.random())}, 3, seed=1)
+        b = run_trials(lambda rng: {"v": float(rng.random())}, 3, seed=1)
+        assert a == b
+
+    def test_mean_over_trials_numeric(self):
+        mean = mean_over_trials([{"a": 1.0, "b": 2}, {"a": 3.0, "b": 4}])
+        assert mean["a"] == pytest.approx(2.0)
+        assert mean["b"] == pytest.approx(3.0)
+
+    def test_mean_over_trials_non_numeric_keeps_first(self):
+        mean = mean_over_trials([{"tag": "x", "v": 1.0}, {"tag": "y", "v": 2.0}])
+        assert mean["tag"] == "x"
+        assert mean["v"] == pytest.approx(1.5)
+
+    def test_mean_over_empty(self):
+        assert mean_over_trials([]) == {}

@@ -1,0 +1,35 @@
+"""Tests for the EXPERIMENTS.md generator (structure only; the heavy quick
+run is exercised by regenerating the real report)."""
+
+import numpy as np
+
+from repro.experiments import fig4_throughput
+from repro.experiments.report import FigureReport, _fig4, _fig5, _markdown_table
+
+
+def test_markdown_table_shape():
+    result = fig4_throughput.run(packet_sizes=(64, 1500), seed=1)
+    table = _markdown_table(result)
+    lines = table.splitlines()
+    assert lines[0].startswith("| packet_bytes")
+    assert lines[1].startswith("|---")
+    assert len(lines) == 2 + len(result.rows)
+
+
+def test_fig4_report_passes_checks():
+    report = _fig4(seed=1, quick=True)
+    assert report.ok, [c for c in report.checks if not c[1]]
+    assert report.figure == "Fig. 4"
+    assert "10x" in report.paper_claim or "10 times" in report.paper_claim
+
+
+def test_fig5_report_passes_checks():
+    report = _fig5(seed=1, quick=True)
+    assert report.ok
+
+
+def test_figure_report_ok_aggregates():
+    result = fig4_throughput.run(packet_sizes=(64,), seed=1)
+    good = FigureReport("f", "claim", result, [("a", True), ("b", True)])
+    bad = FigureReport("f", "claim", result, [("a", True), ("b", False)])
+    assert good.ok and not bad.ok

@@ -1,0 +1,138 @@
+"""End-to-end integration: control-plane placement -> data-plane install ->
+real traffic.
+
+This is the system path a deployment would take: synthesize tenants, run a
+placement algorithm, install the resulting physical layout and per-tenant
+rules on the pipeline simulator, then send each tenant's packets and verify
+that (a) the recirculation count the data plane *actually* performs equals
+the ``R_l`` the control-plane solution predicts and (b) tenants stay
+isolated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import check_placement, greedy_place, solve_with_rounding
+from repro.core.spec import SwitchSpec
+from repro.dataplane.pipeline import SwitchPipeline
+from repro.dataplane.table import TableEntry
+from repro.dataplane.virtualization import LogicalNF, LogicalSFC, SFCVirtualizer
+from repro.nfs import get_nf, install_layout
+from repro.traffic import WorkloadConfig, make_instance
+from repro.traffic.flows import FlowGenerator
+
+
+def deploy(placement, max_passes=None):
+    """Install a placement (layout + every placed chain) on a fresh pipeline."""
+    instance = placement.instance
+    if max_passes is None:
+        max_passes = instance.max_recirculations + 1
+    pipeline = SwitchPipeline(spec=instance.switch, max_passes=max_passes)
+    install_layout(pipeline, placement.physical)
+    virtualizer = SFCVirtualizer(pipeline)
+    for l, asg in sorted(placement.assignments.items()):
+        sfc = instance.sfcs[l]
+        nfs = []
+        for j, type_id in enumerate(sfc.nf_types):
+            nf_def = get_nf(type_id)
+            # A tenant-wide catch-all per NF guarantees every tenant packet
+            # traverses the chain (the REC argument rides on matched rules),
+            # mirroring providers' default policy rules.
+            rules = [TableEntry(match={}, action="permit", priority=-1)]
+            nfs.append(LogicalNF(nf_def.name, tuple(rules)))
+        virtualizer.install_sfc(
+            LogicalSFC(tenant_id=sfc.tenant_id, nfs=tuple(nfs)),
+            assignment=asg.stages,
+        )
+    return pipeline, virtualizer
+
+
+@pytest.fixture(scope="module")
+def deployed():
+    switch = SwitchSpec(stages=4, blocks_per_stage=12, capacity_gbps=200.0)
+    instance = make_instance(
+        WorkloadConfig(num_sfcs=8, num_types=6, avg_chain_length=3,
+                       chain_length_spread=1),
+        switch=switch,
+        max_recirculations=2,
+        rng=17,
+    )
+    placement = greedy_place(instance)
+    assert placement.num_placed >= 4
+    assert check_placement(placement) == []
+    pipeline, virtualizer = deploy(placement)
+    return instance, placement, pipeline, virtualizer
+
+
+def test_dataplane_passes_match_control_plane_prediction(deployed):
+    instance, placement, pipeline, _ = deployed
+    gen = FlowGenerator(3)
+    for l, asg in placement.assignments.items():
+        tenant = instance.sfcs[l].tenant_id
+        packet = gen.flows(1, tenant_id=tenant)[0].make_packet(64)
+        result = pipeline.process(packet)
+        predicted = asg.passes(instance.switch.stages)
+        assert result.passes == predicted, (
+            f"SFC {l}: data plane made {result.passes} passes, control "
+            f"plane predicted {predicted}"
+        )
+
+
+def test_unplaced_tenants_traffic_passes_through_untouched(deployed):
+    instance, placement, pipeline, _ = deployed
+    unplaced = set(range(instance.num_sfcs)) - set(placement.assignments)
+    gen = FlowGenerator(4)
+    for l in unplaced:
+        tenant = instance.sfcs[l].tenant_id
+        packet = gen.flows(1, tenant_id=tenant)[0].make_packet(64)
+        result = pipeline.process(packet, trace=True)
+        assert result.passes == 1
+        assert result.applied_tables() == []  # only no_op defaults fired
+
+
+def test_installed_entries_match_placement_rule_counts(deployed):
+    instance, placement, pipeline, _ = deployed
+    # One catch-all rule per placed NF was installed.
+    expected = sum(instance.sfcs[l].length for l in placement.assignments)
+    assert pipeline.total_entries() == expected
+
+
+def test_departure_releases_dataplane_state(deployed):
+    instance, placement, pipeline, virtualizer = deployed
+    victim = next(iter(placement.assignments))
+    tenant = instance.sfcs[victim].tenant_id
+    before = pipeline.total_entries()
+    virtualizer.uninstall_sfc(tenant)
+    assert pipeline.total_entries() == before - instance.sfcs[victim].length
+    # Their traffic now passes through untouched.
+    packet = FlowGenerator(5).flows(1, tenant_id=tenant)[0].make_packet(64)
+    assert pipeline.process(packet).passes == 1
+    # Reinstall for subsequent tests (module-scoped fixture).
+    nfs = tuple(
+        LogicalNF(get_nf(t).name, (TableEntry(match={}, action="permit", priority=-1),))
+        for t in instance.sfcs[victim].nf_types
+    )
+    virtualizer.install_sfc(
+        LogicalSFC(tenant_id=tenant, nfs=nfs),
+        assignment=placement.assignments[victim].stages,
+    )
+
+
+def test_rounding_placement_also_deploys():
+    switch = SwitchSpec(stages=4, blocks_per_stage=12, capacity_gbps=200.0)
+    instance = make_instance(
+        WorkloadConfig(num_sfcs=6, num_types=6, avg_chain_length=3,
+                       chain_length_spread=1),
+        switch=switch,
+        max_recirculations=2,
+        rng=23,
+    )
+    result = solve_with_rounding(instance, rng=5)
+    placement = result.placement
+    assert check_placement(placement) == []
+    pipeline, _ = deploy(placement)
+    gen = FlowGenerator(6)
+    for l, asg in placement.assignments.items():
+        tenant = instance.sfcs[l].tenant_id
+        packet = gen.flows(1, tenant_id=tenant)[0].make_packet(64)
+        assert pipeline.process(packet).passes == asg.passes(instance.switch.stages)

@@ -1,0 +1,142 @@
+"""Unit tests for variables and linear expressions."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.lp import Model
+from repro.lp.expr import LinExpr, lin_sum
+
+
+@pytest.fixture()
+def model():
+    return Model("t")
+
+
+def test_var_to_expr_single_term(model):
+    x = model.add_var("x")
+    expr = x.to_expr()
+    assert expr.coeffs == {x.index: 1.0}
+    assert expr.constant == 0.0
+
+
+def test_var_addition_combines_terms(model):
+    x = model.add_var("x")
+    y = model.add_var("y")
+    expr = x + y
+    assert expr.coeffs == {x.index: 1.0, y.index: 1.0}
+
+
+def test_var_plus_number_sets_constant(model):
+    x = model.add_var("x")
+    expr = x + 5
+    assert expr.constant == 5.0
+    expr2 = 5 + x
+    assert expr2.constant == 5.0
+
+
+def test_subtraction_and_negation(model):
+    x = model.add_var("x")
+    y = model.add_var("y")
+    expr = 2 * x - 3 * y + 1
+    assert expr.coeffs == {x.index: 2.0, y.index: -3.0}
+    assert expr.constant == 1.0
+    neg = -expr
+    assert neg.coeffs == {x.index: -2.0, y.index: 3.0}
+    assert neg.constant == -1.0
+
+
+def test_rsub(model):
+    x = model.add_var("x")
+    expr = 10 - x
+    assert expr.coeffs == {x.index: -1.0}
+    assert expr.constant == 10.0
+
+
+def test_scalar_multiplication_and_division(model):
+    x = model.add_var("x")
+    expr = (4 * x) / 2
+    assert expr.coeffs == {x.index: 2.0}
+
+
+def test_multiply_by_zero_clears_terms(model):
+    x = model.add_var("x")
+    expr = (x + 3) * 0
+    assert expr.coeffs == {}
+    assert expr.constant == 0.0
+
+
+def test_cancelling_terms_are_dropped(model):
+    x = model.add_var("x")
+    y = model.add_var("y")
+    expr = x + y - x
+    assert expr.coeffs == {y.index: 1.0}
+
+
+def test_division_by_zero_raises(model):
+    x = model.add_var("x")
+    with pytest.raises(ZeroDivisionError):
+        _ = x.to_expr() / 0
+
+
+def test_nonlinear_multiplication_rejected(model):
+    x = model.add_var("x")
+    with pytest.raises((ModelError, TypeError)):
+        _ = x.to_expr() * x.to_expr()  # type: ignore[operator]
+
+
+def test_expressions_from_different_models_rejected():
+    m1, m2 = Model("a"), Model("b")
+    x = m1.add_var("x")
+    y = m2.add_var("y")
+    with pytest.raises(ModelError):
+        _ = x + y
+
+
+def test_value_evaluates_assignment(model):
+    x = model.add_var("x")
+    y = model.add_var("y")
+    expr = 2 * x + 3 * y + 1
+    assert expr.value([2.0, 1.0]) == pytest.approx(8.0)
+
+
+def test_lin_sum_matches_builtin_sum(model):
+    xs = model.add_vars(20, "v")
+    fast = lin_sum(x * (i + 1) for i, x in enumerate(xs))
+    slow = sum((x * (i + 1) for i, x in enumerate(xs)), LinExpr())
+    assert fast.coeffs == slow.coeffs
+    assert fast.constant == slow.constant
+
+
+def test_lin_sum_with_numbers_and_vars(model):
+    x = model.add_var("x")
+    expr = lin_sum([x, 2, x * 3, 4.5])
+    assert expr.coeffs == {x.index: 4.0}
+    assert expr.constant == 6.5
+
+
+def test_lin_sum_rejects_bad_type(model):
+    with pytest.raises(ModelError):
+        lin_sum(["nope"])  # type: ignore[list-item]
+
+
+def test_from_terms(model):
+    x = model.add_var("x")
+    y = model.add_var("y")
+    expr = LinExpr.from_terms([(2, x), (3, y)], constant=7)
+    assert expr.coeffs == {x.index: 2.0, y.index: 3.0}
+    assert expr.constant == 7.0
+
+
+def test_var_repr_mentions_kind(model):
+    x = model.add_var("x", binary=True)
+    assert "int" in repr(x)
+
+
+def test_expr_repr_uses_names(model):
+    x = model.add_var("alpha")
+    assert "alpha" in repr(x + 1)
+
+
+def test_var_bounds_validation(model):
+    with pytest.raises(ModelError):
+        model.add_var("bad", lb=3, ub=1)

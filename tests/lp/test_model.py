@@ -1,0 +1,186 @@
+"""Unit tests for the Model container, constraints, and dense export."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.lp import Model, Objective, Sense
+from repro.lp.constraint import Constraint
+
+
+@pytest.fixture()
+def model():
+    return Model("t")
+
+
+def test_add_var_defaults(model):
+    x = model.add_var("x")
+    assert x.lb == 0.0
+    assert x.ub == math.inf
+    assert not x.is_integer
+
+
+def test_binary_shorthand(model):
+    x = model.add_var("x", binary=True)
+    assert (x.lb, x.ub, x.is_integer) == (0.0, 1.0, True)
+
+
+def test_duplicate_names_rejected(model):
+    model.add_var("x")
+    with pytest.raises(ModelError):
+        model.add_var("x")
+
+
+def test_auto_names_unique(model):
+    a = model.add_var()
+    b = model.add_var()
+    assert a.name != b.name
+
+
+def test_add_vars_prefix(model):
+    xs = model.add_vars(3, "z", binary=True)
+    assert [v.name for v in xs] == ["z[0]", "z[1]", "z[2]"]
+    assert model.num_integer_vars == 3
+
+
+def test_var_by_name(model):
+    x = model.add_var("target")
+    assert model.var_by_name("target") is x
+    with pytest.raises(ModelError):
+        model.var_by_name("missing")
+
+
+def test_constraint_normalizes_constant(model):
+    x = model.add_var("x")
+    constr = (x + 5) <= 12
+    assert constr.rhs == pytest.approx(7.0)
+    assert constr.lhs.constant == 0.0
+
+
+def test_constraint_both_sides_expressions(model):
+    x = model.add_var("x")
+    y = model.add_var("y")
+    constr = (x + 1) >= (y - 2)
+    assert constr.sense is Sense.GE
+    assert constr.lhs.coeffs == {x.index: 1.0, y.index: -1.0}
+    assert constr.rhs == pytest.approx(-3.0)
+
+
+def test_equality_constraint(model):
+    x = model.add_var("x")
+    y = model.add_var("y")
+    constr = x == y
+    assert isinstance(constr, Constraint)
+    assert constr.sense is Sense.EQ
+
+
+def test_constant_comparison_rejected(model):
+    model.add_var("x")
+    with pytest.raises(ModelError):
+        Constraint.build(3, 4, Sense.LE)
+
+
+def test_add_constr_requires_constraint(model):
+    with pytest.raises(ModelError):
+        model.add_constr(True)  # type: ignore[arg-type]
+
+
+def test_cross_model_constraint_rejected():
+    m1, m2 = Model("a"), Model("b")
+    x = m1.add_var("x")
+    constr = x <= 1
+    with pytest.raises(ModelError):
+        m2.add_constr(constr)
+
+
+def test_constraint_violation_and_satisfaction(model):
+    x = model.add_var("x")
+    constr = model.add_constr(2 * x <= 4)
+    assert constr.is_satisfied([2.0])
+    assert constr.violation([3.0]) == pytest.approx(2.0, abs=1e-6)
+    ge = model.add_constr(x >= 1)
+    assert ge.violation([0.0]) == pytest.approx(1.0, abs=1e-6)
+    eq = model.add_constr(x == 2)
+    assert eq.violation([5.0]) == pytest.approx(3.0, abs=1e-6)
+
+
+def test_check_feasible_reports_all_problem_kinds(model):
+    x = model.add_var("x", lb=0, ub=1, integer=True)
+    model.add_constr(x <= 0, name="cap")
+    problems = model.check_feasible([0.5])
+    kinds = " ".join(problems)
+    assert "integrality" in kinds
+    assert "cap" in kinds
+    assert model.check_feasible([0.0]) == []
+
+
+def test_check_feasible_shape_mismatch(model):
+    model.add_var("x")
+    with pytest.raises(ModelError):
+        model.check_feasible([1.0, 2.0])
+
+
+def test_to_arrays_minimize(model):
+    x = model.add_var("x", lb=0, ub=5)
+    y = model.add_var("y", lb=-1, ub=1)
+    model.add_constr(x + y <= 3)
+    model.add_constr(x - y >= 1)
+    model.add_constr(x + 2 * y == 2)
+    model.set_objective(x + 4 * y, Objective.MINIMIZE)
+    form = model.to_arrays()
+    assert form.sign == 1.0
+    np.testing.assert_allclose(form.c, [1.0, 4.0])
+    # GE rows are negated into <= form.
+    np.testing.assert_allclose(form.A_ub, [[1.0, 1.0], [-1.0, 1.0]])
+    np.testing.assert_allclose(form.b_ub, [3.0, -1.0])
+    np.testing.assert_allclose(form.A_eq, [[1.0, 2.0]])
+    np.testing.assert_allclose(form.b_eq, [2.0])
+    np.testing.assert_allclose(form.lb, [0.0, -1.0])
+    np.testing.assert_allclose(form.ub, [5.0, 1.0])
+
+
+def test_to_arrays_maximize_flips_sign(model):
+    x = model.add_var("x")
+    model.set_objective(2 * x, Objective.MAXIMIZE)
+    form = model.to_arrays()
+    assert form.sign == -1.0
+    np.testing.assert_allclose(form.c, [-2.0])
+
+
+def test_objective_constant_preserved(model):
+    x = model.add_var("x")
+    model.set_objective(x + 10, Objective.MAXIMIZE)
+    assert model.to_arrays().objective_constant == pytest.approx(10.0)
+
+
+def test_objective_from_other_model_rejected():
+    m1, m2 = Model("a"), Model("b")
+    x = m1.add_var("x")
+    with pytest.raises(ModelError):
+        m2.set_objective(x + 0)
+
+
+def test_relaxed_drops_integrality_only(model):
+    x = model.add_var("x", binary=True)
+    y = model.add_var("y", lb=0, ub=3)
+    model.add_constr(x + y <= 2, name="keep")
+    model.set_objective(x + y, Objective.MAXIMIZE)
+    relaxed = model.relaxed()
+    assert relaxed.num_vars == 2
+    assert relaxed.num_integer_vars == 0
+    assert relaxed.variables[0].ub == 1.0
+    assert relaxed.constraints[0].name == "keep"
+    assert relaxed.objective_sense is Objective.MAXIMIZE
+    # Original untouched.
+    assert model.num_integer_vars == 1
+
+
+def test_repr_counts(model):
+    model.add_var("x", binary=True)
+    model.add_var("y")
+    x = model.variables[0]
+    model.add_constr(x <= 1)
+    text = repr(model)
+    assert "vars=2" in text and "1 int" in text and "constrs=1" in text

@@ -1,0 +1,93 @@
+"""Tests for the LP-format writer."""
+
+import numpy as np
+import pytest
+
+from repro.lp import Model, Objective
+from repro.lp.writer import model_to_lp_string, write_lp
+
+
+@pytest.fixture()
+def model():
+    m = Model("t")
+    x = m.add_var("x[1,0]", binary=True)
+    y = m.add_var("y", lb=0, ub=5)
+    z = m.add_var("z", lb=-np.inf, ub=np.inf)
+    m.add_constr(x + 2 * y <= 4, name="cap")
+    m.add_constr(y - z >= 1, name="floor")
+    m.add_constr(x + z == 2, name="bind")
+    m.set_objective(3 * x + y - z, Objective.MAXIMIZE)
+    return m
+
+
+def test_sections_present(model):
+    text = model_to_lp_string(model)
+    for keyword in ("Maximize", "Subject To", "Bounds", "Generals", "End"):
+        assert keyword in text
+
+
+def test_names_sanitized(model):
+    text = model_to_lp_string(model)
+    assert "x[1,0]" not in text
+    assert "x_1_0_" in text
+
+
+def test_constraints_rendered_with_senses(model):
+    text = model_to_lp_string(model)
+    assert "cap: x_1_0_ + 2 y <= 4" in text
+    assert "floor: y - z >= 1" in text
+    assert "bind: x_1_0_ + z = 2" in text
+
+
+def test_bounds_and_free_variables(model):
+    text = model_to_lp_string(model)
+    assert "0 <= y <= 5" in text
+    assert "-inf <= z <= +inf" in text
+
+
+def test_integers_listed(model):
+    text = model_to_lp_string(model)
+    generals = text.split("Generals")[1]
+    assert "x_1_0_" in generals
+
+
+def test_minimize_header():
+    m = Model()
+    x = m.add_var("x")
+    m.set_objective(x + 0, Objective.MINIMIZE)
+    assert model_to_lp_string(m).startswith("Minimize")
+
+
+def test_write_lp_creates_file(model, tmp_path):
+    path = write_lp(model, tmp_path / "model.lp")
+    assert path.exists()
+    assert path.read_text().endswith("End\n")
+
+
+def test_name_collisions_disambiguated():
+    m = Model()
+    m.add_var("a[1]")
+    m.add_var("a(1)")  # both sanitize to a_1_
+    m.add_constr(m.variables[0] + m.variables[1] <= 1)
+    m.set_objective(m.variables[0] + 0, Objective.MAXIMIZE)
+    text = model_to_lp_string(m)
+    assert "a_1_ " in text and "a_1__1" in text
+
+
+def test_placement_model_exports():
+    """The real joint MILP serializes without error and mentions its vars."""
+    from repro.core.ilp import build_placement_model
+    from repro.core.spec import SFC, ProblemInstance, SwitchSpec
+
+    switch = SwitchSpec(stages=2, blocks_per_stage=3, block_bits=6400,
+                        rule_bits=64, capacity_gbps=50.0)
+    inst = ProblemInstance(
+        switch=switch,
+        sfcs=(SFC(name="a", nf_types=(1,), rules=(10,), bandwidth_gbps=1.0),),
+        num_types=2,
+        max_recirculations=0,
+    )
+    ilp = build_placement_model(inst)
+    text = model_to_lp_string(ilp.model)
+    assert "backplane_capacity" in text
+    assert text.count("\n") > 10

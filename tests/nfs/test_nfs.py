@@ -1,0 +1,159 @@
+"""Tests for the NF library: registry coherence, physical-table structure,
+rule generators, and per-NF behaviour through the pipeline."""
+
+import pytest
+
+from repro.core.spec import SwitchSpec, default_nf_catalog
+from repro.dataplane.packet import Packet
+from repro.dataplane.pipeline import SwitchPipeline
+from repro.dataplane.table import MatchKind
+from repro.dataplane.virtualization import LogicalNF, LogicalSFC, SFCVirtualizer
+from repro.errors import DataPlaneError
+from repro.nfs import NF_REGISTRY, get_nf, install_physical_nf, nf_names
+
+
+class TestRegistry:
+    def test_ten_types_matching_catalog(self):
+        catalog = default_nf_catalog()
+        assert len(NF_REGISTRY) == 10
+        for spec_nf in catalog:
+            nf = get_nf(spec_nf.type_id)
+            assert nf.name == spec_nf.name, (
+                f"registry/type-id mismatch at {spec_nf.type_id}"
+            )
+
+    def test_lookup_by_name_and_id(self):
+        assert get_nf("firewall").type_id == 1
+        assert get_nf(1).name == "firewall"
+        with pytest.raises(DataPlaneError):
+            get_nf("teleporter")
+        with pytest.raises(DataPlaneError):
+            get_nf(99)
+
+    def test_names_in_type_id_order(self):
+        names = nf_names()
+        assert names[0] == "firewall"
+        assert len(names) == 10
+
+
+class TestPhysicalTables:
+    @pytest.mark.parametrize("name", sorted(NF_REGISTRY))
+    def test_physical_table_prepends_tenant_and_pass(self, name):
+        table = get_nf(name).make_physical_table(stage=2)
+        assert table.key_fields[:2] == ("tenant_id", "pass_id")
+        assert table.key[0].kind is MatchKind.EXACT
+        assert table.key[1].kind is MatchKind.EXACT
+        assert table.default_action == "no_op"
+        assert f"@s2" in table.name
+
+    @pytest.mark.parametrize("name", sorted(NF_REGISTRY))
+    def test_generated_rules_install_cleanly(self, name):
+        """Every NF's generator must produce rules its own physical table
+        accepts once virtualized (the §IV copy step)."""
+        pipeline = SwitchPipeline(
+            spec=SwitchSpec(stages=1, blocks_per_stage=20), max_passes=1
+        )
+        install_physical_nf(pipeline, name, 0)
+        nf = get_nf(name)
+        rules = nf.generate_rules(rng=5, count=30)
+        assert len(rules) == 30
+        sfc = LogicalSFC(tenant_id=1, nfs=(LogicalNF(name, tuple(rules)),))
+        SFCVirtualizer(pipeline).install_sfc(sfc)
+        assert pipeline.total_entries() == 30
+
+    @pytest.mark.parametrize("name", sorted(NF_REGISTRY))
+    def test_rule_generation_is_seeded(self, name):
+        nf = get_nf(name)
+        a = nf.generate_rules(rng=7, count=5)
+        b = nf.generate_rules(rng=7, count=5)
+        assert a == b
+
+    def test_p4_tables_default_single_table(self):
+        tables = get_nf("firewall").p4_tables()
+        assert len(tables) == 1
+        name, reads, writes = tables[0]
+        assert "src_ip" in reads
+
+    def test_load_balancer_is_three_tables(self):
+        tables = get_nf("load_balancer").p4_tables()
+        assert [t[0] for t in tables] == ["tab_lb", "tab_lbhash", "tab_lbselect"]
+
+
+class TestBehaviour:
+    def _pipeline_with(self, name):
+        pl = SwitchPipeline(
+            spec=SwitchSpec(stages=1, blocks_per_stage=20), max_passes=1
+        )
+        install_physical_nf(pl, name, 0)
+        return pl
+
+    def test_firewall_denies_matching_flow(self):
+        pl = self._pipeline_with("firewall")
+        nf = get_nf("firewall")
+        rules = nf.generate_rules(rng=3, count=20)
+        deny = next(r for r in rules if r.action == "drop")
+        SFCVirtualizer(pl).install_sfc(
+            LogicalSFC(tenant_id=1, nfs=(LogicalNF("firewall", (deny,)),))
+        )
+        src, _mask = deny.match["src_ip"]
+        dst, _ = deny.match["dst_ip"]
+        dport, _ = deny.match["dst_port"]
+        packet = Packet(tenant_id=1, src_ip=src, dst_ip=dst, dst_port=dport, protocol=6)
+        assert pl.process(packet).packet.dropped
+        other = Packet(tenant_id=1, src_ip=src ^ 0xFFFF0000, dst_ip=dst, dst_port=dport, protocol=6)
+        assert not pl.process(other).packet.dropped
+
+    def test_load_balancer_rewrites_vip(self):
+        pl = self._pipeline_with("load_balancer")
+        nf = get_nf("load_balancer")
+        rule = nf.generate_rules(rng=3, count=1)[0]
+        SFCVirtualizer(pl).install_sfc(
+            LogicalSFC(tenant_id=1, nfs=(LogicalNF("load_balancer", (rule,)),))
+        )
+        vip = rule.match["dst_ip"]
+        packet = Packet(tenant_id=1, dst_ip=vip, dst_port=80, protocol=6)
+        pl.process(packet)
+        assert packet.dst_ip == rule.params["dst_ip"]
+
+    def test_router_longest_prefix_forwarding(self):
+        pl = self._pipeline_with("router")
+        from repro.dataplane.table import TableEntry
+
+        rules = (
+            TableEntry(match={"dst_ip": (0x0A000000, 8)}, action="forward", params={"port": 1}),
+            TableEntry(match={"dst_ip": (0x0A0B0000, 16)}, action="forward", params={"port": 2}),
+        )
+        SFCVirtualizer(pl).install_sfc(
+            LogicalSFC(tenant_id=1, nfs=(LogicalNF("router", rules),))
+        )
+        p = Packet(tenant_id=1, dst_ip=0x0A0B0C0D)
+        pl.process(p)
+        assert p.egress_port == 2
+        p2 = Packet(tenant_id=1, dst_ip=0x0A010203)
+        pl.process(p2)
+        assert p2.egress_port == 1
+
+    def test_nat_rewrites_source(self):
+        pl = self._pipeline_with("nat")
+        nf = get_nf("nat")
+        rule = nf.generate_rules(rng=3, count=1)[0]
+        SFCVirtualizer(pl).install_sfc(
+            LogicalSFC(tenant_id=1, nfs=(LogicalNF("nat", (rule,)),))
+        )
+        inside = rule.match["src_ip"]
+        p = Packet(tenant_id=1, src_ip=inside, protocol=6)
+        pl.process(p)
+        assert p.src_ip == rule.params["src_ip"]
+
+    def test_classifier_marks_dscp(self):
+        pl = self._pipeline_with("traffic_classifier")
+        nf = get_nf("traffic_classifier")
+        rule = nf.generate_rules(rng=3, count=1)[0]
+        SFCVirtualizer(pl).install_sfc(
+            LogicalSFC(tenant_id=1, nfs=(LogicalNF("traffic_classifier", (rule,)),))
+        )
+        src, _ = rule.match["src_ip"]
+        lo, hi = rule.match["dst_port"]
+        p = Packet(tenant_id=1, src_ip=src, dst_port=lo, protocol=rule.match["protocol"])
+        pl.process(p)
+        assert p.dscp == rule.params["dscp"]

@@ -1,0 +1,92 @@
+"""Structural tests for the P4-14 code generator."""
+
+import re
+
+import pytest
+
+from repro.errors import DataPlaneError
+from repro.nfs import get_nf
+from repro.p4.codegen import generate_p4
+
+CHAIN = [get_nf(n) for n in ("firewall", "traffic_classifier", "load_balancer", "router")]
+
+
+@pytest.fixture(scope="module")
+def source():
+    return generate_p4(CHAIN, program_name="fig2")
+
+
+def test_braces_balanced(source):
+    assert source.count("{") == source.count("}")
+
+
+def test_header_mentions_chain(source):
+    assert "firewall -> traffic_classifier -> load_balancer -> router" in source
+
+
+def test_every_nf_gets_a_table(source):
+    for nf in CHAIN:
+        assert f"table tab_{nf.name} " in source
+        assert f"apply(tab_{nf.name});" in source
+
+
+def test_tables_prepend_tenant_and_pass(source):
+    for block in re.findall(r"table tab_\w+ \{.*?\n\}", source, re.S):
+        if "tab_recirculate" in block:
+            continue
+        assert "sfp_meta.tenant_id : exact;" in block
+        assert "sfp_meta.pass_id : exact;" in block
+
+
+def test_match_kinds_rendered(source):
+    fw_block = re.search(r"table tab_firewall \{.*?\n\}", source, re.S).group(0)
+    assert "ipv4.srcAddr : ternary;" in fw_block
+    assert "l4.dstPort : range;" in fw_block
+    rt_block = re.search(r"table tab_router \{.*?\n\}", source, re.S).group(0)
+    assert "ipv4.dstAddr : lpm;" in rt_block
+
+
+def test_actions_declared_before_tables_reference_them(source):
+    for match in re.finditer(r"^\s+(\w+);$", source, re.M):
+        name = match.group(1)
+        if name in ("no_op", "do_recirculate"):
+            continue
+        declaration = source.find(f"action {name}(")
+        assert declaration != -1, f"action {name} referenced but not declared"
+        assert declaration < match.start()
+
+
+def test_every_action_carries_rec_argument(source):
+    for match in re.finditer(r"action (\w+)\(([^)]*)\) \{", source):
+        name, params = match.groups()
+        if name in ("no_op", "do_recirculate", "mark_rec"):
+            continue
+        assert params.split(",")[-1].strip() == "rec", name
+
+
+def test_recirculation_block_present(source):
+    assert "table tab_recirculate" in source
+    assert "add_to_field(sfp_meta.pass_id, 1);" in source
+    assert "recirculate(0);" in source
+
+
+def test_tcp_udp_gate(source):
+    assert "if (ipv4.protocol == 6 or ipv4.protocol == 17)" in source
+
+
+def test_empty_chain_rejected():
+    with pytest.raises(DataPlaneError):
+        generate_p4([])
+
+
+def test_duplicate_nfs_rejected():
+    with pytest.raises(DataPlaneError):
+        generate_p4([get_nf("firewall"), get_nf("firewall")])
+
+
+def test_all_catalog_nfs_generate():
+    from repro.nfs import NF_REGISTRY
+
+    source = generate_p4([get_nf(name) for name in sorted(NF_REGISTRY)])
+    assert source.count("table tab_") == len(NF_REGISTRY) + 1  # + recirculate
+    assert source.count("{") == source.count("}")

@@ -1,0 +1,48 @@
+"""Tests for the sfp command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_demo_traces_a_packet(capsys):
+    assert main(["demo", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered=True" in out
+    assert "pass 1 stage 0" in out
+
+
+def test_place_greedy(capsys):
+    code = main([
+        "place", "--algorithm", "greedy", "--num-sfcs", "8", "--seed", "3",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "feasibility: OK" in out
+    assert "objective" in out
+
+
+def test_place_appro(capsys):
+    code = main([
+        "place", "--algorithm", "appro", "--num-sfcs", "5", "--seed", "3",
+    ])
+    assert code == 0
+    assert "feasibility: OK" in capsys.readouterr().out
+
+
+def test_fig5_quick(capsys):
+    assert main(["fig5", "--quick", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "fig5" in out
+    assert "341" in out

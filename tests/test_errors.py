@@ -1,0 +1,40 @@
+"""API-stability tests for the exception hierarchy.
+
+Callers catch ``ReproError`` to handle any library failure; these tests pin
+the subclass relationships that contract relies on.
+"""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_repro_error():
+    for name in (
+        "ModelError",
+        "SolverError",
+        "InfeasibleError",
+        "UnboundedError",
+        "DataPlaneError",
+        "ResourceExhaustedError",
+        "PlacementError",
+        "WorkloadError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError), name
+
+
+def test_solver_sub_hierarchy():
+    assert issubclass(errors.InfeasibleError, errors.SolverError)
+    assert issubclass(errors.UnboundedError, errors.SolverError)
+
+
+def test_resource_exhausted_is_dataplane():
+    assert issubclass(errors.ResourceExhaustedError, errors.DataPlaneError)
+
+
+def test_catching_base_catches_subsystem_failures():
+    with pytest.raises(errors.ReproError):
+        raise errors.PlacementError("x")
+    with pytest.raises(errors.DataPlaneError):
+        raise errors.ResourceExhaustedError("y")

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs to completion (their internal
+asserts double as integration checks)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples narrate what they do"
+
+
+def test_all_six_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "multi_tenant_dataplane",
+        "runtime_update_scenario",
+        "p4_chain_compilation",
+        "trace_replay",
+        "offload_savings",
+    } <= names

@@ -1,0 +1,66 @@
+"""Tests for unit conversions and RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.rng import make_rng, spawn
+
+
+class TestUnits:
+    def test_gbps_pps_roundtrip(self):
+        pps = units.gbps_to_pps(100.0, 64)
+        assert units.pps_to_gbps(pps, 64) == pytest.approx(100.0)
+
+    def test_wire_rate_64b(self):
+        # 100 Gbps of 64B frames = 148.8 Mpps (the classic line-rate figure).
+        pps = units.gbps_to_pps(100.0, 64)
+        assert pps == pytest.approx(148.8e6, rel=0.01)
+
+    def test_overhead_toggle(self):
+        with_oh = units.gbps_to_pps(10.0, 64, include_overhead=True)
+        without = units.gbps_to_pps(10.0, 64, include_overhead=False)
+        assert without > with_oh
+
+    def test_invalid_packet_size(self):
+        with pytest.raises(ValueError):
+            units.gbps_to_pps(1.0, 0)
+        with pytest.raises(ValueError):
+            units.pps_to_gbps(1.0, -5)
+
+    def test_mpps(self):
+        assert units.mpps(2_000_000) == pytest.approx(2.0)
+
+    def test_time_conversions(self):
+        assert units.seconds_to_ns(1e-9) == pytest.approx(1.0)
+        assert units.ns_to_seconds(1.0) == pytest.approx(1e-9)
+
+
+class TestRng:
+    def test_none_uses_default_seed(self):
+        a = make_rng(None).integers(0, 1000, 5)
+        b = make_rng(None).integers(0, 1000, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_int_seed(self):
+        a = make_rng(5).integers(0, 1000, 5)
+        b = make_rng(5).integers(0, 1000, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_spawn_independent_streams(self):
+        children = spawn(make_rng(1), 3)
+        draws = [c.integers(0, 10**9) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_deterministic(self):
+        a = [c.integers(0, 10**9) for c in spawn(make_rng(1), 3)]
+        b = [c.integers(0, 10**9) for c in spawn(make_rng(1), 3)]
+        assert a == b
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(1), -1)

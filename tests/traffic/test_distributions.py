@@ -1,0 +1,84 @@
+"""Tests for workload distributions (long-tail bandwidth, packet-size mix)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.traffic.distributions import (
+    PacketSizeMix,
+    lognormal_bandwidth,
+    pareto_bandwidth,
+)
+
+
+class TestLognormalBandwidth:
+    def test_bounds_respected(self):
+        draws = lognormal_bandwidth(1, 1000, min_gbps=1.0, max_gbps=50.0)
+        assert draws.min() >= 1.0 and draws.max() <= 50.0
+
+    def test_mean_close_to_target(self):
+        draws = lognormal_bandwidth(1, 50_000, mean_gbps=6.0, sigma=0.8,
+                                    min_gbps=0.01, max_gbps=1e6)
+        assert draws.mean() == pytest.approx(6.0, rel=0.05)
+
+    def test_long_tail_shape(self):
+        draws = lognormal_bandwidth(1, 20_000, mean_gbps=6.0)
+        # Heavy tail: mean well above median.
+        assert draws.mean() > np.median(draws)
+
+    def test_seeded_determinism(self):
+        a = lognormal_bandwidth(9, 10)
+        b = lognormal_bandwidth(9, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            lognormal_bandwidth(1, -1)
+        with pytest.raises(WorkloadError):
+            lognormal_bandwidth(1, 10, mean_gbps=0)
+        with pytest.raises(WorkloadError):
+            lognormal_bandwidth(1, 10, min_gbps=5, max_gbps=1)
+
+
+class TestParetoBandwidth:
+    def test_bounds(self):
+        draws = pareto_bandwidth(1, 1000, scale_gbps=2.0, max_gbps=40.0)
+        assert draws.min() >= 2.0 and draws.max() <= 40.0
+
+    def test_heavy_tail(self):
+        draws = pareto_bandwidth(1, 20_000, shape=1.5)
+        assert draws.mean() > np.median(draws)
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            pareto_bandwidth(1, 10, shape=0)
+        with pytest.raises(WorkloadError):
+            pareto_bandwidth(1, -2)
+
+
+class TestPacketSizeMix:
+    def test_default_is_bimodal(self):
+        mix = PacketSizeMix()
+        probs = mix.probabilities
+        # Most mass at the extremes (IMC'10 shape).
+        assert probs[0] + probs[-1] > 0.6
+
+    def test_probabilities_normalized(self):
+        assert PacketSizeMix().probabilities.sum() == pytest.approx(1.0)
+
+    def test_mean_bytes(self):
+        mix = PacketSizeMix(sizes=(100, 200), weights=(1.0, 1.0))
+        assert mix.mean_bytes == pytest.approx(150.0)
+
+    def test_sample_values_from_support(self):
+        mix = PacketSizeMix()
+        draws = mix.sample(3, 500)
+        assert set(np.unique(draws)) <= set(mix.sizes)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PacketSizeMix(sizes=(64,), weights=(0.5, 0.5))
+        with pytest.raises(WorkloadError):
+            PacketSizeMix(sizes=(64,), weights=(-1.0,))
+        with pytest.raises(WorkloadError):
+            PacketSizeMix(sizes=(0,), weights=(1.0,))

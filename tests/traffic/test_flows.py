@@ -1,0 +1,65 @@
+"""Tests for flow/packet generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.traffic.distributions import PacketSizeMix
+from repro.traffic.flows import Flow, FlowGenerator
+
+
+def test_flow_make_packet_carries_tenant():
+    flow = Flow(tenant_id=5, src_ip=1, dst_ip=2, src_port=3, dst_port=4)
+    packet = flow.make_packet(128)
+    assert packet.tenant_id == 5
+    assert packet.size_bytes == 128
+    assert packet.five_tuple() == (1, 2, 3, 4, 6)
+
+
+def test_flows_count_and_tenant():
+    flows = FlowGenerator(1).flows(10, tenant_id=3)
+    assert len(flows) == 10
+    assert all(f.tenant_id == 3 for f in flows)
+    # Private address space.
+    assert all(0x0A000000 <= f.src_ip < 0x0B000000 for f in flows)
+
+
+def test_flows_negative_count_rejected():
+    with pytest.raises(WorkloadError):
+        FlowGenerator(1).flows(-1)
+
+
+def test_packets_fixed_size():
+    gen = FlowGenerator(1)
+    flows = gen.flows(4)
+    packets = gen.packets(flows, 20, size_bytes=256)
+    assert len(packets) == 20
+    assert all(p.size_bytes == 256 for p in packets)
+
+
+def test_packets_from_size_mix():
+    gen = FlowGenerator(1)
+    flows = gen.flows(4)
+    mix = PacketSizeMix()
+    packets = gen.packets(flows, 200, size_mix=mix)
+    assert set(p.size_bytes for p in packets) <= set(mix.sizes)
+
+
+def test_packets_need_exactly_one_size_spec():
+    gen = FlowGenerator(1)
+    flows = gen.flows(2)
+    with pytest.raises(WorkloadError):
+        gen.packets(flows, 5)
+    with pytest.raises(WorkloadError):
+        gen.packets(flows, 5, size_bytes=64, size_mix=PacketSizeMix())
+
+
+def test_packets_need_flows():
+    with pytest.raises(WorkloadError):
+        FlowGenerator(1).packets([], 5, size_bytes=64)
+
+
+def test_generator_determinism():
+    a = FlowGenerator(7).flows(5)
+    b = FlowGenerator(7).flows(5)
+    assert a == b

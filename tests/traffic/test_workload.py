@@ -1,0 +1,97 @@
+"""Tests for the §VI-A SFC dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.traffic.workload import WorkloadConfig, make_instance, make_sfcs
+
+
+class TestConfigValidation:
+    def test_defaults_match_paper(self):
+        cfg = WorkloadConfig()
+        assert cfg.num_types == 10
+        assert cfg.rules_min == 100 and cfg.rules_max == 2100
+        assert cfg.avg_chain_length == 5
+
+    def test_chain_longer_than_catalog_rejected(self):
+        # Types are sampled without replacement -> length <= num_types.
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(num_types=4, avg_chain_length=5, chain_length_spread=0)
+
+    def test_length_below_one_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(avg_chain_length=2, chain_length_spread=2)
+
+    def test_rules_range_validated(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(rules_min=100, rules_max=50)
+
+    def test_with_num_sfcs(self):
+        cfg = WorkloadConfig(num_sfcs=5).with_num_sfcs(9)
+        assert cfg.num_sfcs == 9
+
+
+class TestGeneration:
+    def test_count_and_names(self):
+        sfcs = make_sfcs(WorkloadConfig(num_sfcs=7), rng=1)
+        assert len(sfcs) == 7
+        assert len({s.name for s in sfcs}) == 7
+
+    def test_rules_within_paper_range(self):
+        sfcs = make_sfcs(WorkloadConfig(num_sfcs=40), rng=1)
+        rules = [r for s in sfcs for r in s.rules]
+        assert min(rules) >= 100 and max(rules) <= 2100
+
+    def test_chain_lengths_within_spread(self):
+        cfg = WorkloadConfig(num_sfcs=60, avg_chain_length=5, chain_length_spread=2)
+        lengths = [s.length for s in make_sfcs(cfg, rng=2)]
+        assert min(lengths) >= 3 and max(lengths) <= 7
+
+    def test_fixed_length_mode(self):
+        cfg = WorkloadConfig(num_sfcs=20, avg_chain_length=8, chain_length_spread=0)
+        assert all(s.length == 8 for s in make_sfcs(cfg, rng=3))
+
+    def test_types_within_chain_distinct(self):
+        sfcs = make_sfcs(WorkloadConfig(num_sfcs=50), rng=4)
+        for sfc in sfcs:
+            assert len(set(sfc.nf_types)) == sfc.length
+
+    def test_types_within_catalog(self):
+        cfg = WorkloadConfig(num_sfcs=30, num_types=6, avg_chain_length=4,
+                             chain_length_spread=1)
+        for sfc in make_sfcs(cfg, rng=5):
+            assert all(1 <= t <= 6 for t in sfc.nf_types)
+
+    def test_bandwidth_long_tail(self):
+        sfcs = make_sfcs(WorkloadConfig(num_sfcs=4000), rng=6)
+        bw = np.array([s.bandwidth_gbps for s in sfcs])
+        assert bw.mean() > np.median(bw)
+        assert bw.min() >= WorkloadConfig().min_bandwidth_gbps
+
+    def test_seeded_determinism(self):
+        a = make_sfcs(WorkloadConfig(num_sfcs=10), rng=42)
+        b = make_sfcs(WorkloadConfig(num_sfcs=10), rng=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = make_sfcs(WorkloadConfig(num_sfcs=10), rng=1)
+        b = make_sfcs(WorkloadConfig(num_sfcs=10), rng=2)
+        assert a != b
+
+
+class TestMakeInstance:
+    def test_paper_default_switch(self):
+        inst = make_instance(WorkloadConfig(num_sfcs=5), rng=1)
+        assert inst.switch.stages == 8
+        assert inst.switch.blocks_per_stage == 20
+        assert inst.switch.entries_per_block == 1000
+        assert inst.max_recirculations == 2
+        assert inst.num_sfcs == 5
+
+    def test_custom_switch_passed_through(self):
+        from repro.core.spec import SwitchSpec
+
+        switch = SwitchSpec(stages=4)
+        inst = make_instance(WorkloadConfig(num_sfcs=2), switch=switch, rng=1)
+        assert inst.switch.stages == 4
