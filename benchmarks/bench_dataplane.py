@@ -2,13 +2,19 @@
 
 Not a paper figure: measures the simulator's packet-processing rate and the
 placement state's probe cost, so regressions in the hot paths (table lookup,
-``PipelineState.fits``) are visible over time.
+``PipelineState.fits``) are visible over time.  The indexed-vs-linear table
+lookup pair tracks the lookup engine's edge directly;
+``benchmarks/bench_lookup.py`` is the standalone (no pytest) sweep of the
+same workload across entry counts.
 """
 
 from repro.core.state import PipelineState
 from repro.experiments.fig4_throughput import build_demo_pipeline
+from repro.rng import DEFAULT_SEED, make_rng
 from repro.traffic import WorkloadConfig, make_instance
 from repro.traffic.flows import FlowGenerator
+
+from benchmarks.bench_lookup import build_entries, build_packets, build_table
 
 
 def test_pipeline_packet_rate(benchmark):
@@ -41,3 +47,34 @@ def test_state_fits_probe_rate(benchmark):
 
     hits = benchmark(probe)
     assert hits > 0
+
+
+def _lookup_workload(num_entries=2000):
+    rng = make_rng(DEFAULT_SEED + num_entries)
+    entries = build_entries(num_entries, rng)
+    packets = build_packets(128, num_entries, rng)
+    return entries, packets
+
+
+def test_table_lookup_indexed_rate(benchmark):
+    entries, packets = _lookup_workload()
+    table = build_table(entries, indexed=True)
+
+    def sweep():
+        for p in packets:
+            table.lookup(p)
+        return table.hits + table.misses
+
+    assert benchmark(sweep) > 0
+
+
+def test_table_lookup_linear_rate(benchmark):
+    entries, packets = _lookup_workload()
+    table = build_table(entries, indexed=False)
+
+    def sweep():
+        for p in packets:
+            table.lookup(p)
+        return table.hits + table.misses
+
+    assert benchmark(sweep) > 0

@@ -6,7 +6,8 @@ execute the paper's data-plane design end to end:
 * packets with parsed header fields and per-packet metadata
   (:mod:`repro.dataplane.packet`),
 * match-action tables with exact/ternary/LPM/range matching and priorities
-  (:mod:`repro.dataplane.table`), action primitives
+  (:mod:`repro.dataplane.table`), backed by an indexed fast-path lookup
+  engine (:mod:`repro.dataplane.lookup_index`), action primitives
   (:mod:`repro.dataplane.action`),
 * MAU stages with SRAM block accounting (:mod:`repro.dataplane.stage`,
   :mod:`repro.dataplane.resources`),
@@ -20,6 +21,7 @@ execute the paper's data-plane design end to end:
 
 from repro.dataplane.action import ActionCall, default_actions
 from repro.dataplane.latency import AsicModel
+from repro.dataplane.lookup_index import LookupIndex, MatchField
 from repro.dataplane.packet import Packet, PacketResult
 from repro.dataplane.parser import build_frame, build_vxlan_frame, parse_packet
 from repro.dataplane.registers import (
@@ -39,7 +41,9 @@ __all__ = [
     "ActionCall",
     "AsicModel",
     "CounterArray",
+    "LookupIndex",
     "MatchActionTable",
+    "MatchField",
     "MatchKind",
     "MeterArray",
     "MeterColor",

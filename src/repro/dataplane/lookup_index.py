@@ -1,0 +1,293 @@
+"""The table lookup engine: match semantics and the indexed fast path.
+
+This module owns the two halves of rule matching:
+
+* the *reference semantics* — :class:`MatchKind`, :class:`MatchField` and
+  :func:`_match_one`, the per-field predicates every lookup path agrees on;
+* :class:`LookupIndex`, a tuple-space-search style index that answers
+  "which installed entry wins for this packet" in time proportional to the
+  number of distinct match *shapes* rather than the number of entries.
+
+Real switch ASICs classify at line rate with TCAM/hash units; a Python
+simulator that linearly scans every resident entry per packet per stage per
+pass cannot approximate that under the paper's multi-tenant scale, where one
+physical table holds the rules of thousands of tenants prefixed with
+``(tenant_id, pass_id)`` exact fields (Fig. 3).  The index exploits exactly
+that structure:
+
+* Entries without range specs are grouped by **shape** — which key fields
+  they constrain and with what mask: an exact field contributes its value,
+  an LPM field its ``(prefix & mask)`` under the prefix mask, a ternary
+  field its ``(want & mask)``.  Within a shape, a single dict probe on the
+  packet's masked field values yields *only fully matching* entries (masked
+  equality is the match predicate for all three kinds), kept sorted by the
+  table's ranking so the bucket head is the bucket's winner.  Per-tenant
+  rules all share a handful of shapes, so a million-entry table still costs
+  a few dict probes.
+* Entries with range specs (and only those) form the **residue**: a list
+  sorted by rank, scanned with early exit — the scan stops as soon as the
+  best indexed candidate already outranks every remaining residue entry.
+
+The ranking is identical to the reference linear scan: priority descending,
+then total LPM prefix length descending (standard P4 longest-prefix
+semantics), then insertion order.  ``order`` is a monotonically increasing
+sequence number assigned by the owning table; the index never invents
+tie-breaks of its own, which is what lets the differential harness
+(``tests/dataplane/test_differential_lookup.py``) assert bit-for-bit
+agreement with the linear oracle.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dataplane.packet import MATCHABLE_FIELDS, Packet
+from repro.errors import DataPlaneError
+
+
+class MatchKind(enum.Enum):
+    """P4 match kinds supported by the MAU model."""
+
+    EXACT = "exact"
+    TERNARY = "ternary"  # value/mask
+    LPM = "lpm"          # value/prefix_len over 32-bit fields
+    RANGE = "range"      # [lo, hi] inclusive
+
+
+@dataclass(frozen=True)
+class MatchField:
+    """One component of a table's match key."""
+
+    name: str
+    kind: MatchKind
+
+    def __post_init__(self) -> None:
+        if self.name not in MATCHABLE_FIELDS:
+            raise DataPlaneError(f"unknown match field {self.name!r}")
+
+
+def validate_spec(kind: MatchKind, spec) -> None:
+    """Reject a malformed match spec at install time.
+
+    Lookup is the per-packet hot path; a bad spec must fail when the rule is
+    written (the control plane's mistake), not explode mid-traffic.  ``None``
+    wildcards any kind and is always valid.
+    """
+    if spec is None:
+        return
+    if kind is MatchKind.EXACT:
+        try:
+            int(spec)
+        except (TypeError, ValueError):
+            raise DataPlaneError(
+                f"exact spec must be an integer, got {spec!r}"
+            ) from None
+        return
+    try:
+        a, b = spec
+        a, b = int(a), int(b)
+    except (TypeError, ValueError):
+        raise DataPlaneError(
+            f"{kind.value} spec must be a pair of integers, got {spec!r}"
+        ) from None
+    if kind is MatchKind.LPM and not 0 <= b <= 32:
+        raise DataPlaneError(f"LPM prefix length {b} outside [0, 32]")
+
+
+def _match_one(kind: MatchKind, spec, value: int) -> bool:
+    """Does ``value`` satisfy one field's match spec?
+
+    Spec encodings: EXACT -> int (or None = wildcard); TERNARY ->
+    ``(value, mask)``; LPM -> ``(prefix, prefix_len)``; RANGE -> ``(lo, hi)``.
+    ``None`` wildcards any kind.  Specs are validated once at insert time
+    (:func:`validate_spec`), so this predicate stays branch-light.
+    """
+    if spec is None:
+        return True
+    if kind is MatchKind.EXACT:
+        return value == int(spec)
+    if kind is MatchKind.TERNARY:
+        want, mask = spec
+        return (value & mask) == (want & mask)
+    if kind is MatchKind.LPM:
+        prefix, length = spec
+        if length == 0:
+            return True
+        mask = ((1 << length) - 1) << (32 - length)
+        return (value & mask) == (prefix & mask)
+    if kind is MatchKind.RANGE:
+        lo, hi = spec
+        return lo <= value <= hi
+    raise DataPlaneError(f"unhandled match kind {kind}")  # pragma: no cover
+
+
+class _ShapeGroup:
+    """All indexed entries sharing one match shape.
+
+    ``extractors`` holds ``(field_position, mask)`` pairs for the fields the
+    shape constrains — ``mask is None`` means exact (compare the raw value).
+    ``buckets`` maps the tuple of masked packet values to the entries whose
+    masked specs equal it, sorted ascending by sort key (best rank first).
+    """
+
+    __slots__ = ("extractors", "buckets")
+
+    def __init__(self, extractors: tuple) -> None:
+        self.extractors = extractors
+        self.buckets: dict[tuple, list] = {}
+
+
+class LookupIndex:
+    """Incremental fast-path index over one table's entries.
+
+    The owning table calls :meth:`add` / :meth:`remove` with the entry's
+    insertion-order sequence number on every mutation and :meth:`lookup` per
+    packet; :meth:`clear` supports wholesale rebuilds (rollback restore).
+    """
+
+    def __init__(self, key: Sequence[MatchField]) -> None:
+        self.key = tuple(key)
+        #: shape (= extractor tuple) -> group of hash buckets.
+        self._groups: dict[tuple, _ShapeGroup] = {}
+        #: Range-constrained entries as ``(sortkey, entry)``, rank-sorted.
+        self._residue: list = []
+
+    # -- classification ----------------------------------------------------
+    def _classify(self, entry) -> tuple[tuple, tuple] | None:
+        """``(extractors, masked_values)`` for a hashable entry, ``None`` if
+        the entry carries a range spec and must live in the residue."""
+        extractors = []
+        values = []
+        for pos, f in enumerate(self.key):
+            spec = entry.match.get(f.name)
+            if spec is None:
+                continue
+            if f.kind is MatchKind.EXACT:
+                extractors.append((pos, None))
+                values.append(int(spec))
+            elif f.kind is MatchKind.LPM:
+                prefix, length = spec
+                if length == 0:
+                    continue  # /0 matches everything: a wildcard
+                mask = ((1 << length) - 1) << (32 - length)
+                extractors.append((pos, mask))
+                values.append(prefix & mask)
+            elif f.kind is MatchKind.TERNARY:
+                want, mask = spec
+                if mask == 0:
+                    continue  # mask 0 matches everything: a wildcard
+                extractors.append((pos, mask))
+                values.append(want & mask)
+            else:  # RANGE: not expressible as masked equality
+                return None
+        return tuple(extractors), tuple(values)
+
+    def _lpm_specificity(self, entry) -> int:
+        total = 0
+        for f in self.key:
+            if f.kind is MatchKind.LPM:
+                spec = entry.match.get(f.name)
+                if spec is not None:
+                    total += int(spec[1])
+        return total
+
+    def _sortkey(self, entry, order: int) -> tuple[int, int, int]:
+        """Ascending sort key mirroring the rank ``(priority desc, LPM
+        specificity desc, insertion order asc)``; unique per ``order``."""
+        return (-int(entry.priority), -self._lpm_specificity(entry), order)
+
+    # -- maintenance -------------------------------------------------------
+    def add(self, entry, order: int) -> None:
+        """Index ``entry`` installed with sequence number ``order``."""
+        item = (self._sortkey(entry, order), entry)
+        classified = self._classify(entry)
+        if classified is None:
+            insort(self._residue, item)
+            return
+        extractors, values = classified
+        group = self._groups.get(extractors)
+        if group is None:
+            group = _ShapeGroup(extractors)
+            self._groups[extractors] = group
+        insort(group.buckets.setdefault(values, []), item)
+
+    def remove(self, entry, order: int) -> None:
+        """Un-index the entry previously added with ``order``."""
+        sortkey = self._sortkey(entry, order)
+        classified = self._classify(entry)
+        if classified is None:
+            self._del_from(self._residue, sortkey, entry)
+            return
+        extractors, values = classified
+        group = self._groups.get(extractors)
+        bucket = group.buckets.get(values) if group is not None else None
+        if bucket is None:
+            raise DataPlaneError("index out of sync: entry not indexed")
+        self._del_from(bucket, sortkey, entry)
+        if not bucket:
+            del group.buckets[values]
+            if not group.buckets:
+                del self._groups[extractors]
+
+    @staticmethod
+    def _del_from(items: list, sortkey: tuple, entry) -> None:
+        i = bisect_left(items, (sortkey,))
+        if i < len(items) and items[i][0] == sortkey and items[i][1] is entry:
+            del items[i]
+            return
+        raise DataPlaneError("index out of sync: entry not indexed")
+
+    def clear(self) -> None:
+        """Drop every indexed entry (rebuild support)."""
+        self._groups.clear()
+        self._residue.clear()
+
+    # -- lookup ------------------------------------------------------------
+    def lookup(self, packet: Packet):
+        """The winning entry for ``packet``, or ``None`` on a table miss.
+
+        One dict probe per shape, then a rank-ordered residue scan that
+        stops as soon as the indexed candidate outranks what's left.
+        """
+        values = [packet.get_field(f.name) for f in self.key]
+        best_key = None
+        best_entry = None
+        for group in self._groups.values():
+            probe = tuple(
+                values[pos] if mask is None else values[pos] & mask
+                for pos, mask in group.extractors
+            )
+            bucket = group.buckets.get(probe)
+            if bucket:
+                sortkey, entry = bucket[0]
+                if best_key is None or sortkey < best_key:
+                    best_key, best_entry = sortkey, entry
+        for sortkey, entry in self._residue:
+            if best_key is not None and sortkey >= best_key:
+                break  # rank-sorted: nothing further can win
+            ok = True
+            for pos, f in enumerate(self.key):
+                if not _match_one(f.kind, entry.match.get(f.name), values[pos]):
+                    ok = False
+                    break
+            if ok:
+                best_key, best_entry = sortkey, entry
+                break  # first residue match is the best residue match
+        return best_entry
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def num_shapes(self) -> int:
+        return len(self._groups)
+
+    @property
+    def residue_size(self) -> int:
+        return len(self._residue)
+
+    def __len__(self) -> int:
+        return len(self._residue) + sum(
+            len(b) for g in self._groups.values() for b in g.buckets.values()
+        )

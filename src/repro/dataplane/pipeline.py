@@ -69,7 +69,12 @@ class SwitchPipeline:
         raise DataPlaneError(f"no table named {name!r} in the pipeline")
 
     # ------------------------------------------------------------------
-    def process(self, packet: Packet, trace: bool = False) -> PacketResult:
+    def process(
+        self,
+        packet: Packet,
+        trace: bool = False,
+        _resolved: dict | None = None,
+    ) -> PacketResult:
         """Push one packet through the pipeline (with recirculation)."""
         trace_rows: list[tuple[int, int, str, str]] | None = [] if trace else None
         passes = 0
@@ -79,7 +84,10 @@ class SwitchPipeline:
             for stage in self.stages:
                 if packet.dropped:
                     break
-                stage.apply(packet, self.actions, packet.pass_id, trace_rows)
+                stage.apply(
+                    packet, self.actions, packet.pass_id, trace_rows,
+                    resolved=_resolved,
+                )
             if packet.dropped or not packet.recirculate:
                 break
             if passes >= self.max_passes:
@@ -93,8 +101,13 @@ class SwitchPipeline:
 
     def process_batch(self, packets: list[Packet], trace: bool = False) -> list[PacketResult]:
         """Process packets independently (the functional model has no
-        cross-packet contention; throughput is the latency model's job)."""
-        return [self.process(p, trace=trace) for p in packets]
+        cross-packet contention; throughput is the latency model's job).
+
+        Batch fast path: one action-resolution memo is shared across the
+        whole batch, so each distinct action name hits the registry once.
+        """
+        resolved: dict = {}
+        return [self.process(p, trace=trace, _resolved=resolved) for p in packets]
 
     # ------------------------------------------------------------------
     def total_entries(self) -> int:

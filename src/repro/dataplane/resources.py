@@ -72,6 +72,23 @@ class StageResources:
             raise ResourceExhaustedError(f"no reservation for {owner!r}")
         del self.reservations[owner]
 
+    def reservation_state(self, owner: str) -> tuple[int, int]:
+        """``(entries_used, blocks)`` snapshot of ``owner``'s reservation —
+        rollback support for atomic batch writes."""
+        reservation = self.reservations.get(owner)
+        if reservation is None:
+            raise ResourceExhaustedError(f"no reservation for {owner!r}")
+        return (reservation.entries_used, reservation.blocks)
+
+    def restore_reservation_state(self, owner: str, state: tuple[int, int]) -> None:
+        """Reset ``owner``'s reservation to a prior :meth:`reservation_state`
+        snapshot.  No feasibility check: the snapshot was feasible when
+        taken, and a rollback restores every touched reservation."""
+        reservation = self.reservations.get(owner)
+        if reservation is None:
+            raise ResourceExhaustedError(f"no reservation for {owner!r}")
+        reservation.entries_used, reservation.blocks = state
+
     def charge_entries(self, owner: str, count: int) -> None:
         """Account ``count`` new rule entries to ``owner``, growing its
         reservation by whole blocks as needed."""

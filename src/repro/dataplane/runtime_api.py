@@ -70,43 +70,60 @@ class RuntimeAPI:
         }
 
     # -- writes ------------------------------------------------------------
-    def _apply_one(self, op: WriteOp) -> "tuple[WriteOp, ...]":
-        """Apply one op; returns the inverse ops needed to undo it."""
+    def _apply_one(self, op: WriteOp) -> None:
+        """Apply one op (no rollback bookkeeping: :meth:`write` restores
+        whole-table snapshots on failure)."""
         stage, table = self.pipeline.find_table(op.table)
         if op.op is OpType.INSERT:
             stage.resources.charge_entries(op.table, 1)
             table.insert(op.entry)  # type: ignore[attr-defined]
-            return (WriteOp(OpType.DELETE, op.table, op.entry),)
+            return
         if op.op is OpType.DELETE:
             table.delete(op.entry)  # type: ignore[attr-defined]
             stage.resources.refund_entries(op.table, 1)
-            return (WriteOp(OpType.INSERT, op.table, op.entry),)
+            return
         if op.op is OpType.MODIFY:
             if op.replacement is None:
                 raise DataPlaneError("MODIFY needs a replacement entry")
             table.delete(op.entry)  # type: ignore[attr-defined]
             table.insert(op.replacement)  # type: ignore[attr-defined]
-            return (
-                WriteOp(OpType.MODIFY, op.table, op.replacement, replacement=op.entry),
-            )
+            return
         raise DataPlaneError(f"unhandled op {op.op}")  # pragma: no cover
 
     def write(self, ops: list[WriteOp]) -> WriteResult:
         """Apply a batch atomically; on any failure undo what was applied
-        and report the error."""
-        undo: list[WriteOp] = []
+        and report the error.
+
+        Rollback restores per-table *snapshots* rather than replaying
+        inverse ops: re-inserting a deleted entry would append it at the
+        end of the table, silently changing insertion-order tie-breaks
+        between equal-priority overlapping entries.  The snapshot restore
+        rebuilds each touched table (and its lookup index) exactly as it
+        was before the batch, resource reservations included.
+        """
         result = WriteResult()
         self.batches_total += 1
+        #: table name -> (stage, table, entries snapshot, reservation state),
+        #: captured on first touch.
+        touched: dict[str, tuple] = {}
         for op in ops:
             try:
-                inverse = self._apply_one(op)
+                if op.table not in touched:
+                    stage, table = self.pipeline.find_table(op.table)
+                    touched[op.table] = (
+                        stage,
+                        table,
+                        table.snapshot(),  # type: ignore[attr-defined]
+                        stage.resources.reservation_state(op.table),
+                    )
+                self._apply_one(op)
             except (DataPlaneError, ResourceExhaustedError) as exc:
                 result.errors.append(f"{op.op.value} {op.table}: {exc}")
-                for back in reversed(undo):
-                    self._apply_one(back)
+                for name, (stage, table, entries, reservation) in touched.items():
+                    table.restore(entries)  # type: ignore[attr-defined]
+                    stage.resources.restore_reservation_state(name, reservation)
                 result.applied = 0
                 return result
-            undo.extend(inverse)
             result.applied += 1
             self.writes_total += 1
         return result

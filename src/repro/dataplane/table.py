@@ -6,74 +6,47 @@ entries, and a default action.  This is the unit the SFP data plane
 virtualizes: physical NFs prepend ``tenant_id`` (exact) and ``pass_id``
 (exact) fields to their match key so one physical table hosts many tenants'
 logical NFs (Fig. 3).
+
+Lookups run on an indexed fast path by default — a tuple-space-search index
+(:mod:`repro.dataplane.lookup_index`) maintained incrementally through every
+mutation — while :meth:`MatchActionTable.lookup_reference` keeps the naive
+linear scan alive as the semantic oracle the differential test harness
+checks the index against.  Construct with ``indexed=False`` to force a table
+onto the reference path wholesale.
 """
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
-from repro.dataplane.packet import MATCHABLE_FIELDS, Packet
+from repro.dataplane.lookup_index import (  # re-exported: historical home
+    LookupIndex,
+    MatchField,
+    MatchKind,
+    _match_one,
+    validate_spec,
+)
+from repro.dataplane.packet import Packet
 from repro.errors import DataPlaneError
 
-
-class MatchKind(enum.Enum):
-    """P4 match kinds supported by the MAU model."""
-
-    EXACT = "exact"
-    TERNARY = "ternary"  # value/mask
-    LPM = "lpm"          # value/prefix_len over 32-bit fields
-    RANGE = "range"      # [lo, hi] inclusive
-
-
-@dataclass(frozen=True)
-class MatchField:
-    """One component of a table's match key."""
-
-    name: str
-    kind: MatchKind
-
-    def __post_init__(self) -> None:
-        if self.name not in MATCHABLE_FIELDS:
-            raise DataPlaneError(f"unknown match field {self.name!r}")
-
-
-def _match_one(kind: MatchKind, spec, value: int) -> bool:
-    """Does ``value`` satisfy one field's match spec?
-
-    Spec encodings: EXACT -> int (or None = wildcard); TERNARY ->
-    ``(value, mask)``; LPM -> ``(prefix, prefix_len)``; RANGE -> ``(lo, hi)``.
-    ``None`` wildcards any kind.
-    """
-    if spec is None:
-        return True
-    if kind is MatchKind.EXACT:
-        return value == int(spec)
-    if kind is MatchKind.TERNARY:
-        want, mask = spec
-        return (value & mask) == (want & mask)
-    if kind is MatchKind.LPM:
-        prefix, length = spec
-        if not 0 <= length <= 32:
-            raise DataPlaneError(f"LPM prefix length {length} outside [0, 32]")
-        if length == 0:
-            return True
-        mask = ((1 << length) - 1) << (32 - length)
-        return (value & mask) == (prefix & mask)
-    if kind is MatchKind.RANGE:
-        lo, hi = spec
-        return lo <= value <= hi
-    raise DataPlaneError(f"unhandled match kind {kind}")  # pragma: no cover
+__all__ = [
+    "MatchActionTable",
+    "MatchField",
+    "MatchKind",
+    "TableEntry",
+    "validate_spec",
+]
 
 
 @dataclass(frozen=True)
 class TableEntry:
     """One rule: per-field match specs, a priority, and an action binding.
 
-    ``match`` maps field name -> spec (see :func:`_match_one`); fields
-    omitted from the mapping are wildcards.  Higher ``priority`` wins; among
-    equal priorities, for LPM fields the longest prefix wins (standard P4
+    ``match`` maps field name -> spec (see
+    :func:`~repro.dataplane.lookup_index._match_one`); fields omitted from
+    the mapping are wildcards.  Higher ``priority`` wins; among equal
+    priorities, for LPM fields the longest prefix wins (standard P4
     semantics), then insertion order.
     """
 
@@ -102,6 +75,7 @@ class MatchActionTable:
         default_action: str = "no_op",
         default_params: Mapping[str, object] | None = None,
         max_entries: int | None = None,
+        indexed: bool = True,
     ) -> None:
         if not name:
             raise DataPlaneError("table needs a name")
@@ -117,6 +91,16 @@ class MatchActionTable:
         #: Lookup statistics (hit = entry matched, miss = default action).
         self.hits = 0
         self.misses = 0
+        #: Whether lookups take the indexed fast path (False = oracle mode).
+        self.indexed = bool(indexed)
+        self._index: LookupIndex | None = (
+            LookupIndex(self.key) if self.indexed else None
+        )
+        #: Monotonic sequence assigned per insert; the rank tie-break.
+        self._seq = 0
+        #: id(entry) -> its live sequence numbers, oldest first (an entry
+        #: object may legitimately be installed more than once).
+        self._orders: dict[int, list[int]] = {}
 
     @property
     def key_fields(self) -> tuple[str, ...]:
@@ -127,27 +111,70 @@ class MatchActionTable:
         return len(self.entries)
 
     def _validate(self, entry: TableEntry) -> None:
-        for fname in entry.match:
-            if fname not in self.key_fields:
+        by_name = {f.name: f for f in self.key}
+        for fname, spec in entry.match.items():
+            f = by_name.get(fname)
+            if f is None:
                 raise DataPlaneError(
                     f"table {self.name!r}: entry matches unknown field {fname!r} "
                     f"(key = {self.key_fields})"
                 )
+            try:
+                validate_spec(f.kind, spec)
+            except DataPlaneError as exc:
+                raise DataPlaneError(
+                    f"table {self.name!r}: bad {fname!r} spec: {exc}"
+                ) from None
+
+    # -- mutation ----------------------------------------------------------
+    def _append(self, entry: TableEntry) -> None:
+        """Install a validated, capacity-checked entry (list + index)."""
+        self.entries.append(entry)
+        order = self._seq
+        self._seq += 1
+        self._orders.setdefault(id(entry), []).append(order)
+        if self._index is not None:
+            self._index.add(entry, order)
+
+    def _forget(self, entry: TableEntry) -> None:
+        """Drop the oldest installed copy of ``entry`` from the index and
+        order bookkeeping (the caller already removed it from ``entries``)."""
+        orders = self._orders[id(entry)]
+        order = orders.pop(0)
+        if not orders:
+            del self._orders[id(entry)]
+        if self._index is not None:
+            self._index.remove(entry, order)
 
     def insert(self, entry: TableEntry) -> None:
-        """Install a rule (P4Runtime INSERT)."""
+        """Install a rule (P4Runtime INSERT).
+
+        Malformed match specs are rejected here, once, rather than on the
+        per-packet lookup path.
+        """
         self._validate(entry)
         if self.max_entries is not None and self.num_entries >= self.max_entries:
             raise DataPlaneError(
                 f"table {self.name!r} full ({self.max_entries} entries)"
             )
-        self.entries.append(entry)
+        self._append(entry)
 
     def insert_many(self, entries: Sequence[TableEntry]) -> None:
-        """Install several rules in order (all-or-nothing is the
-        RuntimeAPI's job; this is the raw table operation)."""
+        """Install several rules in order, atomically: validation and the
+        capacity check run up front, so a bad batch leaves the table (and
+        its index) untouched."""
+        entries = list(entries)
         for entry in entries:
-            self.insert(entry)
+            self._validate(entry)
+        if (
+            self.max_entries is not None
+            and self.num_entries + len(entries) > self.max_entries
+        ):
+            raise DataPlaneError(
+                f"table {self.name!r} full ({self.max_entries} entries)"
+            )
+        for entry in entries:
+            self._append(entry)
 
     def delete(self, entry: TableEntry) -> None:
         """Remove a previously installed rule (P4Runtime DELETE).
@@ -160,32 +187,69 @@ class MatchActionTable:
         for i, existing in enumerate(self.entries):
             if existing is entry:
                 del self.entries[i]
+                self._forget(existing)
                 return
-        try:
-            self.entries.remove(entry)
-        except ValueError:
-            raise DataPlaneError(
-                f"table {self.name!r}: entry not present for delete"
-            ) from None
+        for i, existing in enumerate(self.entries):
+            if existing == entry:
+                del self.entries[i]
+                self._forget(existing)
+                return
+        raise DataPlaneError(f"table {self.name!r}: entry not present for delete")
 
     def delete_where(self, **match_fields: object) -> int:
         """Delete all entries whose match spec contains the given field
         values exactly (used for per-tenant teardown); returns the count."""
-        before = self.num_entries
-        self.entries = [
-            e
-            for e in self.entries
-            if not all(e.match.get(k) == v for k, v in match_fields.items())
-        ]
-        return before - self.num_entries
+        kept: list[TableEntry] = []
+        removed: list[TableEntry] = []
+        for e in self.entries:
+            if all(e.match.get(k) == v for k, v in match_fields.items()):
+                removed.append(e)
+            else:
+                kept.append(e)
+        self.entries = kept
+        for e in removed:
+            self._forget(e)
+        return len(removed)
 
+    # -- rollback support --------------------------------------------------
+    def snapshot(self) -> tuple[TableEntry, ...]:
+        """The installed entries, in order, for later :meth:`restore`."""
+        return tuple(self.entries)
+
+    def restore(self, snapshot: Iterable[TableEntry]) -> None:
+        """Reset the table to a prior :meth:`snapshot`, rebuilding the index
+        so insertion-order tie-breaks are exactly as captured.  Hit/miss
+        counters are left alone (traffic really happened)."""
+        self.entries = []
+        self._seq = 0
+        self._orders = {}
+        if self._index is not None:
+            self._index.clear()
+        for entry in snapshot:
+            self._append(entry)
+
+    # -- lookup ------------------------------------------------------------
     def lookup(self, packet: Packet) -> tuple[TableEntry | None, str, Mapping[str, object]]:
         """Find the winning entry for ``packet``.
 
         Returns ``(entry, action, params)``; ``entry`` is ``None`` on a miss
         (default action).  Match semantics: all key fields must match;
         priority desc, then LPM specificity desc, then insertion order.
+        Runs on the index when enabled; :meth:`lookup_reference` is the
+        always-available linear oracle with identical semantics.
         """
+        if self._index is None:
+            return self.lookup_reference(packet)
+        best = self._index.lookup(packet)
+        if best is None:
+            self.misses += 1
+            return None, self.default_action, self.default_params
+        self.hits += 1
+        return best, best.action, best.params
+
+    def lookup_reference(self, packet: Packet) -> tuple[TableEntry | None, str, Mapping[str, object]]:
+        """The reference linear scan (the oracle the index is tested
+        against).  Updates the same hit/miss counters as :meth:`lookup`."""
         best: TableEntry | None = None
         best_rank: tuple[int, int, int] | None = None
         for order, entry in enumerate(self.entries):

@@ -176,22 +176,33 @@ class SFCVirtualizer:
                 pass_id = -(-k // S)
                 table = self._physical_table(nf.nf_name, stage_index)
                 stage = self.pipeline.stage(stage_index)
-                stage.resources.charge_entries(table.name, len(nf.rules))
+                augmented_rules = []
                 for rule in nf.rules:
                     params = dict(rule.params)
                     if j in rec_positions:
                         params["rec"] = True
-                    augmented = TableEntry(
-                        match={
-                            **dict(rule.match),
-                            "tenant_id": sfc.tenant_id,
-                            "pass_id": pass_id,
-                        },
-                        action=rule.action,
-                        params=params,
-                        priority=rule.priority,
+                    augmented_rules.append(
+                        TableEntry(
+                            match={
+                                **dict(rule.match),
+                                "tenant_id": sfc.tenant_id,
+                                "pass_id": pass_id,
+                            },
+                            action=rule.action,
+                            params=params,
+                            priority=rule.priority,
+                        )
                     )
-                    table.insert(augmented)
+                stage.resources.charge_entries(table.name, len(augmented_rules))
+                try:
+                    # Atomic per NF: a rejected batch leaves the table (and
+                    # its lookup index) untouched, so only the charge above
+                    # needs undoing here.
+                    table.insert_many(augmented_rules)
+                except (DataPlaneError, ResourceExhaustedError):
+                    stage.resources.refund_entries(table.name, len(augmented_rules))
+                    raise
+                for augmented in augmented_rules:
                     record.rules.append(
                         InstalledRule(
                             stage_index=stage_index,

@@ -1,0 +1,7 @@
+"""Differential-testing package: indexed fast path vs. linear-scan oracle.
+
+The harness here generates random tables, entries, packets, and mutation
+sequences (seeded through :mod:`repro.rng`) and asserts the indexed lookup
+engine is observationally identical to the reference linear scan — winners,
+actions, params, and hit/miss counters alike.
+"""

@@ -1,0 +1,83 @@
+"""Recirculation overflow accounting.
+
+A chain that still requests REC on its ``max_passes``-th traversal must be
+counted as exactly one overflow, must not have its ``pass_id`` bumped past
+the budget, and must report latency for the passes actually taken.
+"""
+
+from repro.core.spec import SwitchSpec
+from repro.dataplane.packet import Packet
+from repro.dataplane.pipeline import SwitchPipeline
+from repro.dataplane.table import MatchActionTable, MatchField, MatchKind, TableEntry
+
+
+def _pipeline(max_passes: int) -> SwitchPipeline:
+    pl = SwitchPipeline(spec=SwitchSpec(stages=2), max_passes=max_passes)
+    t = MatchActionTable("rec", key=[MatchField("protocol", MatchKind.EXACT)])
+    # Every TCP packet asks to recirculate, on every pass, forever.
+    t.insert(TableEntry(match={"protocol": 6}, action="no_op", params={"rec": True}))
+    pl.stage(0).install_table(t)
+    return pl
+
+
+def test_overflow_counted_exactly_once_per_packet():
+    pl = _pipeline(max_passes=3)
+    result = pl.process(Packet(protocol=6))
+    assert result.passes == 3
+    assert pl.recirculation_overflows == 1
+
+
+def test_overflow_leaves_pass_id_unbumped():
+    pl = _pipeline(max_passes=3)
+    result = pl.process(Packet(protocol=6))
+    # pass_id was bumped entering passes 2 and 3; the REC requested *at*
+    # max_passes is refused, so the counter stays at the budget.
+    assert result.packet.pass_id == 3
+    assert result.packet.recirculate  # the unserved request is still visible
+
+
+def test_overflow_latency_covers_passes_actually_taken():
+    pl = _pipeline(max_passes=3)
+    result = pl.process(Packet(protocol=6))
+    assert result.latency_ns == pl.latency_model.latency_ns(passes=3)
+    # Strictly more than a single-pass packet would have paid.
+    assert result.latency_ns > pl.latency_model.latency_ns(passes=1)
+
+
+def test_overflow_accumulates_across_packets():
+    pl = _pipeline(max_passes=2)
+    batch = [Packet(protocol=6) for _ in range(5)]
+    results = pl.process_batch(batch)
+    assert pl.recirculation_overflows == 5
+    assert all(r.passes == 2 for r in results)
+
+
+def test_chain_within_budget_does_not_overflow():
+    pl = _pipeline(max_passes=2)
+    # UDP never matches the REC rule: single pass, no overflow.
+    result = pl.process(Packet(protocol=17))
+    assert result.passes == 1
+    assert pl.recirculation_overflows == 0
+    assert result.packet.pass_id == 1
+
+
+def test_rec_consumed_on_final_pass_is_not_an_overflow():
+    pl = SwitchPipeline(spec=SwitchSpec(stages=2), max_passes=2)
+    t = MatchActionTable(
+        "rec",
+        key=[
+            MatchField("pass_id", MatchKind.EXACT),
+            MatchField("protocol", MatchKind.EXACT),
+        ],
+    )
+    # Recirculates on pass 1 only; pass 2 runs clean.
+    t.insert(
+        TableEntry(
+            match={"pass_id": 1, "protocol": 6}, action="no_op", params={"rec": True}
+        )
+    )
+    pl.stage(0).install_table(t)
+    result = pl.process(Packet(protocol=6))
+    assert result.passes == 2
+    assert result.packet.pass_id == 2
+    assert pl.recirculation_overflows == 0

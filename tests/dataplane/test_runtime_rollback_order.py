@@ -1,0 +1,87 @@
+"""Rollback must restore insertion-order tie-breaks, not just entry sets.
+
+Replaying inverse ops re-inserts a deleted entry at the *end* of the table,
+which silently flips the winner between equal-priority overlapping entries.
+``RuntimeAPI.write`` therefore restores whole-table snapshots; these tests
+pin that behavior on both the indexed fast path and the linear oracle.
+"""
+
+import pytest
+
+from repro.core.spec import SwitchSpec
+from repro.dataplane.packet import Packet
+from repro.dataplane.pipeline import SwitchPipeline
+from repro.dataplane.runtime_api import OpType, RuntimeAPI, WriteOp
+from repro.dataplane.table import MatchActionTable, MatchField, MatchKind, TableEntry
+
+
+def _setup(indexed: bool):
+    pipeline = SwitchPipeline(spec=SwitchSpec(stages=1))
+    table = MatchActionTable(
+        "acl",
+        key=[MatchField("protocol", MatchKind.EXACT)],
+        indexed=indexed,
+    )
+    pipeline.stage(0).install_table(table)
+    api = RuntimeAPI(pipeline)
+    # Equal-priority overlapping entries: insertion order is the only
+    # tie-break, and `first` wins it.
+    first = TableEntry(match={"protocol": 6}, action="permit", priority=5)
+    second = TableEntry(match={"protocol": 6}, action="drop", priority=5)
+    assert api.write(
+        [WriteOp(OpType.INSERT, "acl", first), WriteOp(OpType.INSERT, "acl", second)]
+    ).ok
+    return pipeline, api, table, first, second
+
+
+@pytest.mark.parametrize("indexed", [True, False], ids=["indexed", "oracle"])
+def test_failed_batch_restores_tie_break_winner(indexed):
+    pipeline, api, table, first, second = _setup(indexed)
+    assert table.lookup(Packet(protocol=6))[0] is first
+
+    poison = TableEntry(match={"protocol": 99}, action="drop")
+    result = api.write(
+        [
+            WriteOp(OpType.DELETE, "acl", first),   # applied, then undone
+            WriteOp(OpType.DELETE, "acl", poison),  # fails the batch
+        ]
+    )
+    assert not result.ok and result.applied == 0
+
+    # Entry set AND order are back: `first` still wins the tie.
+    assert [e for e in table.entries] == [first, second]
+    entry, action, _ = table.lookup(Packet(protocol=6))
+    assert entry is first
+    assert action == "permit"
+
+
+@pytest.mark.parametrize("indexed", [True, False], ids=["indexed", "oracle"])
+def test_failed_batch_restores_resources_and_modify_order(indexed):
+    pipeline, api, table, first, second = _setup(indexed)
+    used_before = pipeline.stage(0).resources.entries_used
+    blocks_before = pipeline.stage(0).resources.blocks_used
+
+    replacement = TableEntry(match={"protocol": 6}, action="drop", priority=5)
+    poison = TableEntry(match={"protocol": 99}, action="drop")
+    result = api.write(
+        [
+            WriteOp(OpType.MODIFY, "acl", first, replacement=replacement),
+            WriteOp(OpType.INSERT, "acl", TableEntry(match={"protocol": 17}, action="drop")),
+            WriteOp(OpType.DELETE, "acl", poison),
+        ]
+    )
+    assert not result.ok
+    assert table.lookup(Packet(protocol=6))[0] is first
+    assert pipeline.stage(0).resources.entries_used == used_before
+    assert pipeline.stage(0).resources.blocks_used == blocks_before
+
+
+def test_indexed_and_oracle_agree_after_rollback():
+    """The index's undo path yields the same post-rollback lookups as a
+    freshly rebuilt linear table — the differential guard for satellites."""
+    results = {}
+    for indexed in (True, False):
+        _pipeline, _api, table, _first, _second = _setup(indexed)
+        entry, action, params = table.lookup(Packet(protocol=6))
+        results[indexed] = (entry.match, entry.priority, action, dict(params))
+    assert results[True] == results[False]

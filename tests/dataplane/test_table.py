@@ -70,11 +70,15 @@ def test_lpm_zero_length_is_wildcard():
     assert t.lookup(Packet(dst_ip=12345))[2]["port"] == 9
 
 
-def test_lpm_invalid_length():
+def test_lpm_invalid_length_rejected_at_insert():
+    # A malformed LPM spec must fail when the rule is written, not explode
+    # mid-traffic on the per-packet lookup path.
     t = MatchActionTable("rt", key=[MatchField("dst_ip", MatchKind.LPM)])
-    t.insert(TableEntry(match={"dst_ip": (0, 40)}, action="forward"))
     with pytest.raises(DataPlaneError):
-        t.lookup(Packet(dst_ip=1))
+        t.insert(TableEntry(match={"dst_ip": (0, 40)}, action="forward"))
+    assert t.num_entries == 0
+    t.lookup(Packet(dst_ip=1))  # traffic keeps flowing
+    assert t.misses == 1
 
 
 def test_priority_beats_order(acl):
