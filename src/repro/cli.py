@@ -1,9 +1,11 @@
 """Command-line interface.
 
 ``sfp fig4`` .. ``sfp fig11`` regenerate each evaluation figure; ``sfp
-place`` runs a placement algorithm over a synthesized workload; ``sfp demo``
-walks a packet through a virtualized chain.  ``--quick`` shrinks the
-paper-scale sweeps to seconds.
+place`` runs a placement algorithm over a synthesized workload; ``sfp
+controller`` replays a synthesized tenant-churn stream through the SFC
+controller and prints throughput, latency percentiles and rule churn;
+``sfp demo`` walks a packet through a virtualized chain.  ``--quick``
+shrinks the paper-scale sweeps to seconds.
 """
 
 from __future__ import annotations
@@ -123,6 +125,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_controller(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.controller import ChurnConfig, ChurnEngine, SfcController, synthesize_churn
+    from repro.experiments.config import PAPER_SWITCH, PAPER_WORKLOAD
+    from repro.traffic.workload import make_instance
+
+    workload = replace(PAPER_WORKLOAD, num_sfcs=0)
+    config = ChurnConfig(
+        duration_s=(5.0 if args.quick else args.duration),
+        arrival_rate_per_s=args.rate,
+        mean_lifetime_s=args.lifetime,
+        modify_fraction=args.modify_fraction,
+        workload=workload,
+    )
+    instance = make_instance(
+        workload, switch=PAPER_SWITCH, max_recirculations=2, rng=args.seed
+    )
+    controller = SfcController.for_instance(
+        instance, with_dataplane=not args.no_dataplane
+    )
+    events = synthesize_churn(config, rng=args.seed)
+    report = ChurnEngine(controller).replay(events)
+    print(report.describe())
+    print(f"live tenants: {len(controller.tenants)}")
+    snapshot = controller.metrics.snapshot()
+    for name, value in snapshot["counters"].items():
+        print(f"  counter {name:>28}: {value}")
+    for name, value in snapshot["gauges"].items():
+        print(f"  gauge   {name:>28}: {value:.3f}")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.experiments.fig4_throughput import build_demo_pipeline
     from repro.traffic.flows import FlowGenerator
@@ -160,6 +195,23 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--recirculations", type=int, default=2)
     p.add_argument("--time-limit", type=float, default=60.0)
     p.set_defaults(func=_cmd_place)
+
+    p = sub.add_parser(
+        "controller", help="replay a synthesized churn stream through the controller"
+    )
+    _add_common(p)
+    p.add_argument("--duration", type=float, default=20.0, help="stream horizon (s)")
+    p.add_argument("--rate", type=float, default=8.0, help="tenant arrivals per second")
+    p.add_argument("--lifetime", type=float, default=5.0, help="mean tenant lifetime (s)")
+    p.add_argument(
+        "--modify-fraction", type=float, default=0.2,
+        help="fraction of tenants issuing one mid-lifetime chain modification",
+    )
+    p.add_argument(
+        "--no-dataplane", action="store_true",
+        help="control-plane only (skip the behavioural pipeline mirror)",
+    )
+    p.set_defaults(func=_cmd_controller)
 
     p = sub.add_parser("demo", help="trace a packet through a virtualized chain")
     _add_common(p)

@@ -1,0 +1,298 @@
+"""Event-driven tenant churn: synthesis, trace replay, and reporting.
+
+The churn engine drives an :class:`~repro.controller.controller.SfcController`
+with a timestamped stream of tenant lifecycle events — arrivals (Poisson at a
+configurable rate, chains drawn from the §VI-A workload generator),
+departures (exponential lifetimes), and in-place chain modifications (a
+fraction of tenants re-negotiate mid-lifetime).  Streams can be synthesized
+from a seed (:func:`synthesize_churn`) or saved to / replayed from a JSONL
+trace (:func:`save_events` / :func:`load_events`), and every replay produces
+a :class:`ChurnReport` with per-event latencies and rule-churn totals — the
+numbers ``benchmarks/bench_controller_churn.py`` serializes.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from time import perf_counter
+from typing import Iterable
+
+import numpy as np
+
+from repro.controller.controller import OpResult, SfcController
+from repro.core.spec import SFC
+from repro.errors import WorkloadError
+from repro.rng import make_rng
+from repro.traffic.workload import WorkloadConfig, make_sfcs
+
+
+class EventKind(str, enum.Enum):
+    """Tenant lifecycle event types."""
+
+    ARRIVAL = "arrival"
+    DEPARTURE = "departure"
+    MODIFY = "modify"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One timestamped lifecycle event.
+
+    ``sfc`` carries the requested chain for arrivals and modifications and
+    is ``None`` for departures.  ``seq`` breaks timestamp ties so replay
+    order is total and deterministic.
+    """
+
+    time_s: float
+    seq: int
+    kind: EventKind
+    tenant_id: int
+    sfc: SFC | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (one JSONL trace record)."""
+        record = {
+            "time_s": self.time_s,
+            "seq": self.seq,
+            "kind": self.kind.value,
+            "tenant_id": self.tenant_id,
+        }
+        if self.sfc is not None:
+            record["sfc"] = {
+                "name": self.sfc.name,
+                "nf_types": list(self.sfc.nf_types),
+                "rules": list(self.sfc.rules),
+                "bandwidth_gbps": self.sfc.bandwidth_gbps,
+                "tenant_id": self.sfc.tenant_id,
+            }
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "ChurnEvent":
+        """Inverse of :meth:`to_dict`."""
+        sfc = None
+        if "sfc" in record:
+            raw = record["sfc"]
+            sfc = SFC(
+                name=raw["name"],
+                nf_types=tuple(raw["nf_types"]),
+                rules=tuple(raw["rules"]),
+                bandwidth_gbps=float(raw["bandwidth_gbps"]),
+                tenant_id=int(raw["tenant_id"]),
+            )
+        return cls(
+            time_s=float(record["time_s"]),
+            seq=int(record["seq"]),
+            kind=EventKind(record["kind"]),
+            tenant_id=int(record["tenant_id"]),
+            sfc=sfc,
+        )
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Knobs of the churn synthesizer.
+
+    Arrivals are Poisson (``arrival_rate_per_s``) over ``duration_s``;
+    lifetimes are exponential (``mean_lifetime_s``), and a tenant whose
+    lifetime extends past the horizon simply survives the stream.  A
+    ``modify_fraction`` of tenants issue one chain modification uniformly
+    within their lifetime.  Chains come from the §VI-A workload generator.
+    """
+
+    duration_s: float = 10.0
+    arrival_rate_per_s: float = 5.0
+    mean_lifetime_s: float = 4.0
+    modify_fraction: float = 0.2
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0 or self.arrival_rate_per_s <= 0:
+            raise WorkloadError("duration and arrival rate must be positive")
+        if self.mean_lifetime_s <= 0:
+            raise WorkloadError("mean lifetime must be positive")
+        if not 0.0 <= self.modify_fraction <= 1.0:
+            raise WorkloadError("modify_fraction must be in [0, 1]")
+
+
+def synthesize_churn(
+    config: ChurnConfig, rng: int | np.random.Generator | None = None
+) -> list[ChurnEvent]:
+    """Draw a deterministic churn stream from ``config`` and a seed.
+
+    Tenant IDs are the arrival indices (0, 1, ...), so every tenant in the
+    stream is unique; events are sorted by ``(time_s, seq)``.
+    """
+    rng = make_rng(rng)
+    arrival_times: list[float] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / config.arrival_rate_per_s))
+        if t >= config.duration_s:
+            break
+        arrival_times.append(t)
+    n = len(arrival_times)
+    chains = make_sfcs(config.workload.with_num_sfcs(n), rng)
+    lifetimes = rng.exponential(config.mean_lifetime_s, size=n)
+    modify_mask = rng.random(size=n) < config.modify_fraction
+    modify_frac_of_life = rng.random(size=n)
+    mod_chains = make_sfcs(config.workload.with_num_sfcs(int(modify_mask.sum())), rng)
+
+    events: list[ChurnEvent] = []
+    seq = 0
+    mod_idx = 0
+    for tenant, at in enumerate(arrival_times):
+        sfc = replace(chains[tenant], tenant_id=tenant, name=f"tenant-{tenant}")
+        events.append(
+            ChurnEvent(time_s=at, seq=seq, kind=EventKind.ARRIVAL, tenant_id=tenant, sfc=sfc)
+        )
+        seq += 1
+        lifetime = float(lifetimes[tenant])
+        if modify_mask[tenant]:
+            new_chain = replace(
+                mod_chains[mod_idx], tenant_id=tenant, name=f"tenant-{tenant}-v2"
+            )
+            mod_idx += 1
+            modifies_at = at + lifetime * float(modify_frac_of_life[tenant])
+            if modifies_at < config.duration_s:  # else it falls past the horizon
+                events.append(
+                    ChurnEvent(
+                        time_s=modifies_at,
+                        seq=seq,
+                        kind=EventKind.MODIFY,
+                        tenant_id=tenant,
+                        sfc=new_chain,
+                    )
+                )
+                seq += 1
+        departs = at + lifetime
+        if departs < config.duration_s:
+            events.append(
+                ChurnEvent(
+                    time_s=departs, seq=seq, kind=EventKind.DEPARTURE, tenant_id=tenant
+                )
+            )
+            seq += 1
+    events.sort(key=lambda e: (e.time_s, e.seq))
+    return events
+
+
+# ----------------------------------------------------------------------
+# JSONL traces
+# ----------------------------------------------------------------------
+def save_events(path: str | Path, events: Iterable[ChurnEvent]) -> None:
+    """Write a churn stream as one JSON object per line."""
+    with Path(path).open("w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event.to_dict()) + "\n")
+
+
+def load_events(path: str | Path) -> list[ChurnEvent]:
+    """Read a churn stream saved by :func:`save_events`."""
+    events = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(ChurnEvent.from_dict(json.loads(line)))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+@dataclass
+class ChurnReport:
+    """What a replay did: every (event, outcome) pair plus wall time."""
+
+    results: list[tuple[ChurnEvent, OpResult]] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def num_events(self) -> int:
+        """Events replayed."""
+        return len(self.results)
+
+    @property
+    def events_per_sec(self) -> float:
+        """Replay throughput (events handled per wall-clock second)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.num_events / self.wall_seconds
+
+    def _admit_latencies(self) -> list[float]:
+        return [
+            r.latency_s for _e, r in self.results if r.op == "admit" and r.ok
+        ]
+
+    def admit_latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile of successful-admit latency (seconds);
+        0.0 when no admit succeeded."""
+        latencies = self._admit_latencies()
+        if not latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(latencies), q))
+
+    def summary(self) -> dict[str, float]:
+        """The flat numbers the benchmark serializes: event counts by
+        outcome, throughput, admit-latency percentiles and rule churn."""
+        admitted = sum(1 for _e, r in self.results if r.op == "admit" and r.ok)
+        evicted = sum(1 for _e, r in self.results if r.op == "evict" and r.ok)
+        modified = sum(1 for _e, r in self.results if r.op == "modify" and r.ok)
+        rejected = sum(1 for _e, r in self.results if not r.ok)
+        return {
+            "events": float(self.num_events),
+            "admitted": float(admitted),
+            "evicted": float(evicted),
+            "modified": float(modified),
+            "rejected": float(rejected),
+            "events_per_sec": self.events_per_sec,
+            "admit_p50_ms": self.admit_latency_percentile(50) * 1e3,
+            "admit_p99_ms": self.admit_latency_percentile(99) * 1e3,
+            "rules_added": float(sum(r.rules_added for _e, r in self.results)),
+            "rules_deleted": float(sum(r.rules_deleted for _e, r in self.results)),
+        }
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph summary (the CLI's output)."""
+        s = self.summary()
+        return (
+            f"{int(s['events'])} events in {self.wall_seconds:.2f}s "
+            f"({s['events_per_sec']:.0f} events/s): "
+            f"{int(s['admitted'])} admitted, {int(s['modified'])} modified, "
+            f"{int(s['evicted'])} evicted, {int(s['rejected'])} rejected; "
+            f"admit latency p50={s['admit_p50_ms']:.3f}ms "
+            f"p99={s['admit_p99_ms']:.3f}ms; "
+            f"rules +{int(s['rules_added'])}/-{int(s['rules_deleted'])}"
+        )
+
+
+class ChurnEngine:
+    """Applies a churn stream to a controller, one event at a time."""
+
+    def __init__(self, controller: SfcController) -> None:
+        self.controller = controller
+
+    def apply(self, event: ChurnEvent) -> OpResult:
+        """Dispatch one event to the controller."""
+        if event.kind is EventKind.ARRIVAL:
+            if event.sfc is None:
+                raise WorkloadError(f"arrival event at t={event.time_s} has no SFC")
+            return self.controller.admit(event.sfc)
+        if event.kind is EventKind.DEPARTURE:
+            return self.controller.evict(event.tenant_id)
+        if event.sfc is None:
+            raise WorkloadError(f"modify event at t={event.time_s} has no SFC")
+        return self.controller.modify(event.tenant_id, event.sfc)
+
+    def replay(self, events: Iterable[ChurnEvent]) -> ChurnReport:
+        """Apply every event in order and collect the report."""
+        report = ChurnReport()
+        start = perf_counter()
+        for event in events:
+            report.results.append((event, self.apply(event)))
+        report.wall_seconds = perf_counter() - start
+        return report

@@ -1,0 +1,79 @@
+"""Controller observability: counters, gauges, and snapshots.
+
+A deliberately small Prometheus-flavoured metrics layer.  Counters are
+monotonic (admissions, rejections by reason, rule churn, rollbacks); gauges
+are set to the latest observed value (live tenants, objective, residual
+memory per stage).  :meth:`MetricsRegistry.snapshot` freezes everything into
+one plain ``dict`` — the shape the churn benchmark serializes to
+``BENCH_controller.json`` and the ``sfp controller`` CLI prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlacementError
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing counter."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (>= 0) to the counter."""
+        if n < 0:
+            raise PlacementError(f"counter {self.name!r}: negative increment {n}")
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """A gauge holding the latest observed value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the latest observation."""
+        self.value = float(value)
+
+
+@dataclass
+class MetricsRegistry:
+    """Name-addressed counters and gauges with one-call snapshots.
+
+    Metric names are free-form dotted strings; reason-coded rejections use
+    the ``rejected.<reason>`` convention next to the ``rejected`` total.
+    """
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created at zero on first use."""
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created at zero on first use."""
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Shorthand for ``counter(name).inc(n)``."""
+        self.counter(name).inc(n)
+
+    def snapshot(self) -> dict:
+        """Freeze every metric into ``{"counters": {...}, "gauges": {...}}``
+        with names sorted, so snapshots diff cleanly."""
+        return {
+            "counters": {n: self.counters[n].value for n in sorted(self.counters)},
+            "gauges": {n: self.gauges[n].value for n in sorted(self.gauges)},
+        }

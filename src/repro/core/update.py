@@ -20,9 +20,30 @@ from typing import Callable, Iterable
 
 from repro.core.greedy import order_sfcs, try_place_chain
 from repro.core.placement import NFAssignment, Placement
-from repro.core.spec import ProblemInstance
+from repro.core.spec import SFC, ProblemInstance
 from repro.core.state import PipelineState
 from repro.errors import PlacementError
+
+
+def rule_churn_by_stage(
+    sfc: SFC, stages: Iterable[int], num_physical_stages: int
+) -> dict[int, int]:
+    """Rule entries a chain assignment installs (or removes), per *physical*
+    stage — the shared accounting path used by :class:`UpdateResult`, the
+    fig. 11 experiment, and the controller's churn bookkeeping, so all three
+    report rule churn identically."""
+    churn: dict[int, int] = {}
+    for j, k in enumerate(stages):
+        s = (k - 1) % num_physical_stages
+        churn[s] = churn.get(s, 0) + sfc.rules[j]
+    return churn
+
+
+def merge_churn(into: dict[int, int], other: dict[int, int]) -> dict[int, int]:
+    """Accumulate one per-stage churn dict into another (in place)."""
+    for s, count in other.items():
+        into[s] = into.get(s, 0) + count
+    return into
 
 
 @dataclass
@@ -36,6 +57,22 @@ class UpdateResult:
     reconfigured: bool = False
     #: Objective of the reference (fresh global) solve, when one was run.
     reference_objective: float | None = None
+    #: Rule entries installed this round, per physical stage.  Includes the
+    #: full reinstall when the round ended in a reconfiguration.
+    rules_added_by_stage: dict[int, int] = field(default_factory=dict)
+    #: Rule entries deleted this round, per physical stage.  Departures via
+    #: :meth:`RuntimeUpdater.remove` since the previous round are folded in.
+    rules_deleted_by_stage: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def rules_added(self) -> int:
+        """Total rule entries installed this round."""
+        return sum(self.rules_added_by_stage.values())
+
+    @property
+    def rules_deleted(self) -> int:
+        """Total rule entries deleted this round."""
+        return sum(self.rules_deleted_by_stage.values())
 
 
 class RuntimeUpdater:
@@ -57,6 +94,8 @@ class RuntimeUpdater:
         self.state = PipelineState.from_placement(
             placement, reserve_physical_block=reserve_physical_block
         )
+        #: Per-stage deletions accumulated since the last UpdateResult.
+        self._pending_deleted: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -69,10 +108,12 @@ class RuntimeUpdater:
         """Tenant departure: delete the chains' rules and release their
         memory and backplane bandwidth.  Physical NFs stay installed (the
         data plane's physical pipeline is static).  Returns the indices
-        actually removed."""
+        actually removed, in deterministic (sorted) order; duplicates in
+        ``indices`` are collapsed.  The deleted rule entries are accumulated
+        into the next round's :attr:`UpdateResult.rules_deleted_by_stage`."""
         removed = []
         S = self.instance.switch.stages
-        for l in indices:
+        for l in sorted(set(indices)):
             asg = self.assignments.pop(l, None)
             if asg is None:
                 continue
@@ -82,6 +123,7 @@ class RuntimeUpdater:
                     sfc.nf_types[j] - 1, (k - 1) % S, sfc.rules[j]
                 )
             self.state.release_backplane(asg.passes(S) * sfc.bandwidth_gbps)
+            merge_churn(self._pending_deleted, rule_churn_by_stage(sfc, asg.stages, S))
             removed.append(l)
         return removed
 
@@ -95,6 +137,8 @@ class RuntimeUpdater:
         pool -= set(self.assignments)
         added: list[int] = []
         K = self.instance.virtual_stages
+        S = self.instance.switch.stages
+        added_churn: dict[int, int] = {}
         for l in order_sfcs(self.instance):
             if l not in pool:
                 continue
@@ -102,8 +146,17 @@ class RuntimeUpdater:
             if stages is not None:
                 self.assignments[l] = NFAssignment(sfc_index=l, stages=stages)
                 added.append(l)
+                merge_churn(
+                    added_churn, rule_churn_by_stage(self.instance.sfcs[l], stages, S)
+                )
 
-        result = UpdateResult(placement=self.placement, added=added)
+        deleted_churn, self._pending_deleted = self._pending_deleted, {}
+        result = UpdateResult(
+            placement=self.placement,
+            added=added,
+            rules_added_by_stage=added_churn,
+            rules_deleted_by_stage=deleted_churn,
+        )
         if self.reconfigure_threshold is not None:
             if self.reference_solver is None:
                 raise PlacementError(
@@ -116,6 +169,19 @@ class RuntimeUpdater:
                 1.0 - current / reference.objective
             ) > self.reconfigure_threshold:
                 # Full re-place: extensive rule churn, possibly a reboot.
+                # Everything live (including this round's incremental adds)
+                # is torn down and the reference placement reinstalled, and
+                # the churn accounting says so.
+                for l, asg in self.assignments.items():
+                    merge_churn(
+                        deleted_churn,
+                        rule_churn_by_stage(self.instance.sfcs[l], asg.stages, S),
+                    )
+                for l, asg in reference.assignments.items():
+                    merge_churn(
+                        added_churn,
+                        rule_churn_by_stage(self.instance.sfcs[l], asg.stages, S),
+                    )
                 self.assignments = dict(reference.assignments)
                 self.state = PipelineState.from_placement(
                     reference, reserve_physical_block=self.reserve_physical_block
@@ -125,6 +191,8 @@ class RuntimeUpdater:
                     added=added,
                     reconfigured=True,
                     reference_objective=reference.objective,
+                    rules_added_by_stage=added_churn,
+                    rules_deleted_by_stage=deleted_churn,
                 )
         return result
 

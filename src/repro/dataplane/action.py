@@ -43,6 +43,15 @@ def act_permit(packet: Packet, params: Mapping[str, object]) -> None:
     _apply_rec(packet, params)
 
 
+def act_set_tenant(packet: Packet, params: Mapping[str, object]) -> None:
+    """Controller indirection (§V-E): rewrite the packet's outer tenant ID to
+    the epoch-qualified *wire* ID (param ``wire_id``) that the tenant's
+    currently-active rule generation matches on.  The rewrite survives
+    recirculation, so every pass of a chain executes the same generation."""
+    packet.set_field("tenant_id", int(params["wire_id"]))
+    _apply_rec(packet, params)
+
+
 def act_set_dscp(packet: Packet, params: Mapping[str, object]) -> None:
     """Traffic classifier: mark the DSCP codepoint (param ``dscp``)."""
     packet.set_field("dscp", int(params["dscp"]))
@@ -159,6 +168,7 @@ def default_actions() -> ActionRegistry:
         ("no_op", act_no_op),
         ("drop", act_drop),
         ("permit", act_permit),
+        ("set_tenant", act_set_tenant),
         ("set_dscp", act_set_dscp),
         ("set_dst", act_set_dst),
         ("snat", act_snat),

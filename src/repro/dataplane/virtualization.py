@@ -67,6 +67,92 @@ class InstalledRule:
     entry: TableEntry
 
 
+@dataclass(frozen=True)
+class CompiledNF:
+    """One chain position compiled against its physical table: where the
+    rules go and the fully augmented entries (tenant/pass match fields and
+    the REC argument already applied)."""
+
+    position: int
+    stage_index: int
+    pass_id: int
+    table_name: str
+    entries: tuple[TableEntry, ...]
+
+
+def compile_sfc(
+    sfc: LogicalSFC,
+    assignment: tuple[int, ...],
+    num_stages: int,
+    max_passes: int,
+) -> tuple[CompiledNF, ...]:
+    """Compile a chain onto the physical pipeline *without installing it*.
+
+    This is the pure half of §IV's install: validate the virtual-stage
+    assignment, augment every rule's match with ``(tenant_id, pass_id)``,
+    and attach the REC argument to the rules of the last NF of each
+    non-final pass.  Both :meth:`SFCVirtualizer.install_sfc` and the
+    controller's transactional installer consume the same compilation, so
+    the rule format cannot drift between the two install paths.
+    """
+    if len(assignment) != len(sfc.nfs):
+        raise DataPlaneError(
+            f"assignment length {len(assignment)} != chain length {len(sfc.nfs)}"
+        )
+    if any(b <= a for a, b in zip(assignment, assignment[1:])):
+        raise DataPlaneError(f"assignment {assignment} is not strictly increasing")
+    if any(k < 1 for k in assignment):
+        raise DataPlaneError(f"assignment {assignment} has stages < 1 (1-based)")
+    total_passes = -(-assignment[-1] // num_stages)
+    if total_passes > max_passes:
+        raise ResourceExhaustedError(
+            f"assignment needs {total_passes} passes, pipeline allows {max_passes}"
+        )
+
+    # Which chain positions are the last NF of a non-final pass? Those
+    # rules carry REC.
+    rec_positions = set()
+    for j, k in enumerate(assignment):
+        this_pass = -(-k // num_stages)
+        next_pass = (
+            -(-assignment[j + 1] // num_stages) if j + 1 < len(assignment) else this_pass
+        )
+        if next_pass > this_pass:
+            rec_positions.add(j)
+
+    compiled = []
+    for j, (nf, k) in enumerate(zip(sfc.nfs, assignment)):
+        stage_index = (k - 1) % num_stages
+        pass_id = -(-k // num_stages)
+        augmented = []
+        for rule in nf.rules:
+            params = dict(rule.params)
+            if j in rec_positions:
+                params["rec"] = True
+            augmented.append(
+                TableEntry(
+                    match={
+                        **dict(rule.match),
+                        "tenant_id": sfc.tenant_id,
+                        "pass_id": pass_id,
+                    },
+                    action=rule.action,
+                    params=params,
+                    priority=rule.priority,
+                )
+            )
+        compiled.append(
+            CompiledNF(
+                position=j,
+                stage_index=stage_index,
+                pass_id=pass_id,
+                table_name=physical_table_name(nf.nf_name, stage_index),
+                entries=tuple(augmented),
+            )
+        )
+    return tuple(compiled)
+
+
 @dataclass
 class InstalledSFC:
     """Everything needed to tear a tenant's chain back down."""
@@ -144,70 +230,32 @@ class SFCVirtualizer:
             raise DataPlaneError(f"tenant {sfc.tenant_id} already has an SFC installed")
         if assignment is None:
             assignment = self.plan_allocation(sfc)
-        if len(assignment) != len(sfc.nfs):
-            raise DataPlaneError(
-                f"assignment length {len(assignment)} != chain length {len(sfc.nfs)}"
-            )
-        if any(b <= a for a, b in zip(assignment, assignment[1:])):
-            raise DataPlaneError(f"assignment {assignment} is not strictly increasing")
         S = self.pipeline.num_stages
-        total_passes = -(-assignment[-1] // S)
-        if total_passes > self.pipeline.max_passes:
-            raise ResourceExhaustedError(
-                f"assignment needs {total_passes} passes, pipeline allows "
-                f"{self.pipeline.max_passes}"
-            )
+        compiled = compile_sfc(
+            sfc, tuple(assignment), S, self.pipeline.max_passes
+        )
 
         record = InstalledSFC(sfc=sfc, assignment=tuple(assignment))
         record._stages = S
-
-        # Which chain positions are the last NF of a non-final pass? Those
-        # rules carry REC.
-        rec_positions = set()
-        for j, k in enumerate(assignment):
-            this_pass = -(-k // S)
-            next_pass = -(-assignment[j + 1] // S) if j + 1 < len(assignment) else this_pass
-            if next_pass > this_pass:
-                rec_positions.add(j)
-
         try:
-            for j, (nf, k) in enumerate(zip(sfc.nfs, assignment)):
-                stage_index = (k - 1) % S
-                pass_id = -(-k // S)
-                table = self._physical_table(nf.nf_name, stage_index)
-                stage = self.pipeline.stage(stage_index)
-                augmented_rules = []
-                for rule in nf.rules:
-                    params = dict(rule.params)
-                    if j in rec_positions:
-                        params["rec"] = True
-                    augmented_rules.append(
-                        TableEntry(
-                            match={
-                                **dict(rule.match),
-                                "tenant_id": sfc.tenant_id,
-                                "pass_id": pass_id,
-                            },
-                            action=rule.action,
-                            params=params,
-                            priority=rule.priority,
-                        )
-                    )
-                stage.resources.charge_entries(table.name, len(augmented_rules))
+            for nf in compiled:
+                table = self.pipeline.stage(nf.stage_index).table(nf.table_name)
+                stage = self.pipeline.stage(nf.stage_index)
+                stage.resources.charge_entries(table.name, len(nf.entries))
                 try:
                     # Atomic per NF: a rejected batch leaves the table (and
                     # its lookup index) untouched, so only the charge above
                     # needs undoing here.
-                    table.insert_many(augmented_rules)
+                    table.insert_many(nf.entries)
                 except (DataPlaneError, ResourceExhaustedError):
-                    stage.resources.refund_entries(table.name, len(augmented_rules))
+                    stage.resources.refund_entries(table.name, len(nf.entries))
                     raise
-                for augmented in augmented_rules:
+                for entry in nf.entries:
                     record.rules.append(
                         InstalledRule(
-                            stage_index=stage_index,
-                            table_name=table.name,
-                            entry=augmented,
+                            stage_index=nf.stage_index,
+                            table_name=nf.table_name,
+                            entry=entry,
                         )
                     )
         except (DataPlaneError, ResourceExhaustedError):

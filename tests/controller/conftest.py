@@ -1,0 +1,42 @@
+"""Shared fixtures for the controller tests: a tiny 3-stage switch and a
+chain factory with deterministic tenant numbering."""
+
+import pytest
+
+from repro.core.spec import SFC, ProblemInstance, SwitchSpec
+
+
+@pytest.fixture
+def tiny_switch() -> SwitchSpec:
+    """3 stages x 4 blocks of 100 entries, 100 Gbps backplane."""
+    return SwitchSpec(
+        stages=3,
+        blocks_per_stage=4,
+        block_bits=6400,
+        rule_bits=64,
+        capacity_gbps=100.0,
+    )
+
+
+@pytest.fixture
+def tiny_instance(tiny_switch) -> ProblemInstance:
+    """An empty 3-type instance over the tiny switch (R = 2)."""
+    return ProblemInstance(
+        switch=tiny_switch, sfcs=(), num_types=3, max_recirculations=2
+    )
+
+
+def chain(
+    tenant_id: int,
+    nf_types=(1, 2, 3),
+    rules=(10, 10, 10),
+    bandwidth_gbps: float = 1.0,
+) -> SFC:
+    """A small deterministic chain request for tenant ``tenant_id``."""
+    return SFC(
+        name=f"tenant-{tenant_id}",
+        nf_types=tuple(nf_types),
+        rules=tuple(rules),
+        bandwidth_gbps=bandwidth_gbps,
+        tenant_id=tenant_id,
+    )

@@ -1,0 +1,109 @@
+"""Churn-stream tests: synthesis determinism and shape, JSONL round-trip,
+replay reporting, and the metrics layer."""
+
+import pytest
+
+from repro.controller.events import (
+    ChurnConfig,
+    ChurnEngine,
+    ChurnEvent,
+    EventKind,
+    load_events,
+    save_events,
+    synthesize_churn,
+)
+from repro.controller.controller import SfcController
+from repro.controller.metrics import MetricsRegistry
+from repro.errors import PlacementError, WorkloadError
+from repro.traffic.workload import WorkloadConfig
+
+
+@pytest.fixture
+def config() -> ChurnConfig:
+    return ChurnConfig(
+        duration_s=5.0,
+        arrival_rate_per_s=6.0,
+        mean_lifetime_s=2.0,
+        modify_fraction=0.3,
+        workload=WorkloadConfig(
+            num_sfcs=0, num_types=3, avg_chain_length=2, chain_length_spread=1,
+            rules_min=1, rules_max=5,
+        ),
+    )
+
+
+def test_synthesis_is_deterministic_and_ordered(config):
+    a = synthesize_churn(config, rng=3)
+    b = synthesize_churn(config, rng=3)
+    assert a == b
+    assert a != synthesize_churn(config, rng=4)
+    assert a == sorted(a, key=lambda e: (e.time_s, e.seq))
+    assert all(0.0 < e.time_s < config.duration_s for e in a)
+
+
+def test_synthesis_event_shape(config):
+    events = synthesize_churn(config, rng=3)
+    arrivals = [e for e in events if e.kind is EventKind.ARRIVAL]
+    departures = [e for e in events if e.kind is EventKind.DEPARTURE]
+    modifies = [e for e in events if e.kind is EventKind.MODIFY]
+    # One arrival per unique tenant, at most one departure/modify each.
+    tenants = [e.tenant_id for e in arrivals]
+    assert len(set(tenants)) == len(tenants)
+    assert set(e.tenant_id for e in departures) <= set(tenants)
+    assert set(e.tenant_id for e in modifies) <= set(tenants)
+    assert all(e.sfc is not None and e.sfc.tenant_id == e.tenant_id for e in arrivals)
+    assert all(e.sfc is not None for e in modifies)
+    assert all(e.sfc is None for e in departures)
+    # Per-tenant causal order: arrival < modify < departure.
+    first = {e.tenant_id: e.time_s for e in arrivals}
+    last = {e.tenant_id: e.time_s for e in departures}
+    for e in modifies:
+        assert first[e.tenant_id] <= e.time_s
+        if e.tenant_id in last:
+            assert e.time_s <= last[e.tenant_id]
+
+
+def test_jsonl_roundtrip(config, tmp_path):
+    events = synthesize_churn(config, rng=3)
+    path = tmp_path / "churn.jsonl"
+    save_events(path, events)
+    assert load_events(path) == events
+
+
+def test_replay_report(tiny_instance, config):
+    controller = SfcController(tiny_instance, with_dataplane=False)
+    events = synthesize_churn(config, rng=3)
+    report = ChurnEngine(controller).replay(events)
+    assert report.num_events == len(events)
+    summary = report.summary()
+    assert summary["admitted"] >= 1
+    assert summary["admitted"] - summary["evicted"] == len(controller.tenants)
+    assert summary["events_per_sec"] > 0
+    assert 0 <= summary["admit_p50_ms"] <= summary["admit_p99_ms"]
+    described = report.describe()
+    assert "events/s" in described and "p99" in described
+
+
+def test_bad_configs_rejected():
+    with pytest.raises(WorkloadError):
+        ChurnConfig(duration_s=0)
+    with pytest.raises(WorkloadError):
+        ChurnConfig(modify_fraction=1.5)
+    with pytest.raises(WorkloadError):
+        ChurnEngine(None).apply(
+            ChurnEvent(time_s=0.0, seq=0, kind=EventKind.ARRIVAL, tenant_id=1)
+        )
+
+
+def test_metrics_registry():
+    registry = MetricsRegistry()
+    registry.inc("admitted")
+    registry.inc("admitted", 2)
+    registry.gauge("tenants").set(7)
+    snap = registry.snapshot()
+    assert snap == {"counters": {"admitted": 3}, "gauges": {"tenants": 7.0}}
+    with pytest.raises(PlacementError):
+        registry.counter("admitted").inc(-1)
+    # Snapshots are frozen copies, not views.
+    registry.inc("admitted")
+    assert snap["counters"]["admitted"] == 3

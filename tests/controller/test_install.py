@@ -1,0 +1,171 @@
+"""Transactional-installer tests: wire-ID indirection, two-phase batches,
+make-before-break replaces, and the hitless no-mixed-generation property
+observed by interleaving ``process_batch`` between phases."""
+
+import pytest
+
+from repro.controller.install import TENANT_MAP, WIRE_BASE, TransactionalInstaller
+from repro.dataplane.packet import Packet
+from repro.dataplane.pipeline import SwitchPipeline
+from repro.dataplane.table import TableEntry
+from repro.dataplane.virtualization import LogicalNF, LogicalSFC
+from repro.errors import DataPlaneError
+from repro.nfs.registry import install_physical_nf
+
+
+def permit_nf(name: str, n_rules: int = 1) -> LogicalNF:
+    """An NF whose rules are ``n_rules`` catch-all permits."""
+    return LogicalNF(
+        nf_name=name,
+        rules=tuple(
+            TableEntry(match={}, action="permit", priority=-r - 1)
+            for r in range(n_rules)
+        ),
+    )
+
+
+@pytest.fixture
+def pipeline(tiny_switch) -> SwitchPipeline:
+    """Tiny pipeline with firewall/LB/classifier installed on every stage."""
+    pipe = SwitchPipeline(tiny_switch, max_passes=3)
+    for s in range(3):
+        for nf in ("firewall", "load_balancer", "traffic_classifier"):
+            install_physical_nf(pipe, nf, s)
+    return pipe
+
+
+@pytest.fixture
+def installer(pipeline) -> TransactionalInstaller:
+    return TransactionalInstaller(pipeline)
+
+
+def applied(pipeline, tenant_id: int) -> list[str]:
+    """Tables (beyond the map) a tenant's packet traverses."""
+    result = pipeline.process(Packet(tenant_id=tenant_id, pass_id=1), trace=True)
+    return [t for t in result.applied_tables() if t != TENANT_MAP]
+
+
+def test_map_table_sits_first_on_stage_zero(pipeline):
+    TransactionalInstaller(pipeline)
+    assert pipeline.stage(0).tables[0].name == TENANT_MAP
+
+
+def test_install_is_two_phase_and_wires_traffic(installer, pipeline):
+    phases = []
+    installer.on_batch = lambda phase, result: phases.append((phase, result.ok))
+    sfc = LogicalSFC(tenant_id=5, nfs=(permit_nf("firewall"), permit_nf("load_balancer")))
+    outcome = installer.install(sfc, (1, 2))
+    assert outcome.rules_inserted == 2 and outcome.hitless
+    assert phases == [("install:rules", True), ("install:attach", True)]
+    # Rules live under the wire ID, not the raw tenant ID.
+    record = installer.installed[5]
+    assert record.wire_id >= WIRE_BASE
+    for nf in record.compiled:
+        for entry in nf.entries:
+            assert entry.match["tenant_id"] == record.wire_id
+    assert applied(pipeline, 5) == ["firewall@s0", "load_balancer@s1"]
+
+
+def test_evict_detaches_then_sweeps(installer, pipeline):
+    sfc = LogicalSFC(tenant_id=5, nfs=(permit_nf("firewall"),))
+    installer.install(sfc, (1,))
+    phases = []
+    installer.on_batch = lambda phase, result: phases.append(phase)
+    outcome = installer.evict(5)
+    assert outcome.rules_deleted == 1
+    assert phases == ["evict:detach", "evict:rules"]
+    assert applied(pipeline, 5) == []
+    assert pipeline.total_entries() == 0
+    with pytest.raises(DataPlaneError):
+        installer.evict(5)
+
+
+def test_replace_is_make_before_break(installer, pipeline):
+    installer.install(LogicalSFC(tenant_id=5, nfs=(permit_nf("firewall"),)), (1,))
+    old_wire = installer.installed[5].wire_id
+    phases = []
+    installer.on_batch = lambda phase, result: phases.append(phase)
+    outcome = installer.replace(
+        LogicalSFC(tenant_id=5, nfs=(permit_nf("load_balancer"),)), (2,)
+    )
+    assert outcome.hitless
+    assert phases == ["replace:make", "replace:flip", "replace:break"]
+    assert installer.installed[5].wire_id != old_wire
+    assert applied(pipeline, 5) == ["load_balancer@s1"]
+
+
+def test_hitless_interleaved_batches_see_no_mixed_generation(installer, pipeline):
+    """The acceptance property: a probe batch run between *any* two phases
+    of a make-before-break replace observes either the complete old chain or
+    the complete new chain — never a partial install or a mix."""
+    old = LogicalSFC(
+        tenant_id=5, nfs=(permit_nf("firewall"), permit_nf("load_balancer"))
+    )
+    new = LogicalSFC(
+        tenant_id=5,
+        nfs=(permit_nf("traffic_classifier"), permit_nf("firewall", 2)),
+    )
+    installer.install(old, (1, 2))
+    old_sig = ["firewall@s0", "load_balancer@s1"]
+    new_sig = ["traffic_classifier@s1", "firewall@s2"]
+    assert applied(pipeline, 5) == old_sig
+
+    observed = []
+
+    def probe(phase, result):
+        assert result.ok
+        for packet_result in pipeline.process_batch(
+            [Packet(tenant_id=5, pass_id=1) for _ in range(3)], trace=True
+        ):
+            sig = [t for t in packet_result.applied_tables() if t != TENANT_MAP]
+            observed.append((phase, sig))
+
+    installer.on_batch = probe
+    installer.replace(new, (2, 3))
+    assert observed, "probe never ran"
+    for phase, sig in observed:
+        assert sig in (old_sig, new_sig), f"mixed generation after {phase}: {sig}"
+    # Before the flip the old generation serves; after it the new one does.
+    assert all(sig == old_sig for p, sig in observed if p == "replace:make")
+    assert all(sig == new_sig for p, sig in observed if p in ("replace:flip", "replace:break"))
+
+
+def test_replace_falls_back_to_break_before_make(tiny_switch):
+    """When the transient double occupancy cannot fit, replace degrades to
+    break-before-make (hitless=False) and still lands the new generation."""
+    pipe = SwitchPipeline(tiny_switch, max_passes=3)
+    install_physical_nf(pipe, "firewall", 0)
+    installer = TransactionalInstaller(pipe)
+    # The stage has 4 blocks of 100 entries; the tenant map holds one, so a
+    # 250-rule generation (3 blocks) fits alone but two generations (500
+    # entries = 5 blocks) cannot coexist.
+    big = lambda tid: LogicalSFC(tenant_id=tid, nfs=(permit_nf("firewall", 250),))
+    installer.install(big(5), (1,))
+    outcome = installer.replace(big(5), (1,))
+    assert not outcome.hitless
+    assert outcome.rules_inserted == 250 and outcome.rules_deleted == 250
+    assert installer.installed[5].assignment == (1,)
+    assert pipe.total_entries() == 250 + 1  # new generation + map entry
+
+
+def test_break_before_make_restores_old_generation_on_failure(tiny_switch):
+    """If even the break-before-make path cannot install the new chain, the
+    old generation is restored verbatim and the error propagates."""
+    pipe = SwitchPipeline(tiny_switch, max_passes=3)
+    install_physical_nf(pipe, "firewall", 0)
+    installer = TransactionalInstaller(pipe)
+    installer.install(
+        LogicalSFC(tenant_id=5, nfs=(permit_nf("firewall", 250),)), (1,)
+    )
+    too_big = LogicalSFC(tenant_id=5, nfs=(permit_nf("firewall", 500),))
+    with pytest.raises(DataPlaneError):
+        installer.replace(too_big, (1,))
+    assert installer.installed[5].wire_id is not None
+    assert pipe.total_entries() == 250 + 1
+    assert applied_count(pipe, 5) == 1
+
+
+def applied_count(pipeline, tenant_id: int) -> int:
+    """How many non-map tables the tenant's packet hits."""
+    result = pipeline.process(Packet(tenant_id=tenant_id, pass_id=1), trace=True)
+    return len([t for t in result.applied_tables() if t != TENANT_MAP])

@@ -1,12 +1,15 @@
 """Tests for the runtime update engine (§V-E)."""
 
+import numpy as np
 import pytest
 
 from repro.core.greedy import greedy_place
-from repro.core.spec import SFC, ProblemInstance
-from repro.core.update import RuntimeUpdater
+from repro.core.spec import SFC, ProblemInstance, SwitchSpec
+from repro.core.state import PipelineState
+from repro.core.update import RuntimeUpdater, merge_churn, rule_churn_by_stage
 from repro.core.verify import check_placement
 from repro.errors import PlacementError
+from repro.rng import make_rng
 
 
 @pytest.fixture()
@@ -111,3 +114,136 @@ def test_update_keeps_feasibility_under_churn(tiny_instance):
         updater.remove(drop)
         updater.admit()
         assert check_placement(updater.placement) == []
+
+
+# ----------------------------------------------------------------------
+# Rule-churn accounting and deterministic removal order
+# ----------------------------------------------------------------------
+def test_remove_returns_sorted_deduplicated_indices(live):
+    assert live.remove([2, 0, 2, 0]) == [0, 2]
+    assert live.remove([1, 99]) == [1]
+
+
+def test_rule_churn_by_stage_maps_virtual_to_physical():
+    sfc = SFC(name="x", nf_types=(1, 2, 1), rules=(10, 20, 30), bandwidth_gbps=1.0)
+    # Virtual stages (1, 2, 4) on a 3-stage switch fold position 2 back to
+    # physical stage 0, pooling its rules with position 0's.
+    assert rule_churn_by_stage(sfc, (1, 2, 4), 3) == {0: 40, 1: 20}
+    assert merge_churn({0: 5}, {0: 40, 2: 1}) == {0: 45, 2: 1}
+
+
+def test_update_result_reports_round_churn(live, tiny_instance):
+    sfc = tiny_instance.sfcs[0]
+    stages_before = live.assignments[0].stages
+    live.remove([0])
+    result = live.admit()
+    assert result.added == [0]
+    # Departure (accumulated since last round) and re-admission both show.
+    assert result.rules_deleted == sfc.total_rules
+    assert result.rules_added == sfc.total_rules
+    S = tiny_instance.switch.stages
+    assert result.rules_deleted_by_stage == rule_churn_by_stage(sfc, stages_before, S)
+    assert result.rules_added_by_stage == rule_churn_by_stage(
+        sfc, live.assignments[0].stages, S
+    )
+
+
+def test_quiet_round_reports_zero_churn(live):
+    result = live.admit()  # everything already placed, nothing pending
+    assert result.rules_added == 0
+    assert result.rules_deleted == 0
+    assert result.rules_added_by_stage == {}
+    assert result.rules_deleted_by_stage == {}
+
+
+# ----------------------------------------------------------------------
+# The drift path: seeded churn that provably crosses the gap
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def drift_updater():
+    """One stage of two 100-entry blocks, three single-NF candidates:
+    A (200 rules, 10 Gbps) fills the stage alone; B and C (100 rules,
+    1 Gbps each) fill it together.  Hosting {B, C} scores 2; hosting {A}
+    scores 10 — so any churn that leaves one small survivor makes the
+    incremental objective drift to 5x below the reference."""
+    switch = SwitchSpec(
+        stages=1, blocks_per_stage=2, block_bits=6400, rule_bits=64,
+        capacity_gbps=1000.0,
+    )
+    instance = ProblemInstance(
+        switch=switch,
+        sfcs=(
+            SFC(name="A", nf_types=(1,), rules=(200,), bandwidth_gbps=10.0),
+            SFC(name="B", nf_types=(1,), rules=(100,), bandwidth_gbps=1.0),
+            SFC(name="C", nf_types=(1,), rules=(100,), bandwidth_gbps=1.0),
+        ),
+        num_types=1,
+        max_recirculations=0,
+    )
+    origin = greedy_place(instance, skip={0})  # A arrives later
+    assert set(origin.assignments) == {1, 2}
+    return RuntimeUpdater(
+        origin,
+        reconfigure_threshold=0.25,
+        reference_solver=lambda inst: greedy_place(inst),
+    )
+
+
+def test_seeded_churn_crosses_drift_gap_and_reconfigures(drift_updater):
+    updater = drift_updater
+    instance = updater.instance
+    # Seeded churn: one of the two small tenants departs (either choice
+    # provably crosses the gap).  A cannot fit incrementally beside the
+    # survivor (300 rules > 2 blocks), so the incremental round keeps
+    # objective 2 while a fresh solve hosts A alone at objective 10:
+    # gap = 1 - 2/10 = 0.8 > 0.25 -> reconfiguration.
+    rng = make_rng(20220522)
+    departing = int(rng.choice(np.array([1, 2])))
+    updater.remove([departing])
+    result = updater.admit()
+    assert result.reconfigured
+    assert result.reference_objective == pytest.approx(10.0)
+    assert set(updater.assignments) == {0}
+    assert updater.placement.objective == pytest.approx(10.0)
+
+    # Resource state equals a fresh solve's, array for array.
+    reference_state = PipelineState.from_placement(greedy_place(instance))
+    assert np.array_equal(updater.state.entries, reference_state.entries)
+    assert np.array_equal(updater.state.nf_blocks, reference_state.nf_blocks)
+    assert np.array_equal(updater.state.physical, reference_state.physical)
+    assert updater.state.backplane_gbps == reference_state.backplane_gbps
+    assert check_placement(updater.placement) == []
+
+    # Churn accounting covers the full teardown + reinstall: the departed
+    # tenant and the re-admitted survivor are deleted (100 + 2*100 counting
+    # the incremental re-add of the departed chain) and A's 200 rules plus
+    # the transient re-add are installed.
+    assert result.rules_deleted == 300
+    assert result.rules_added == 300
+    assert result.rules_deleted_by_stage == {0: 300}
+    assert result.rules_added_by_stage == {0: 300}
+
+
+def test_drift_gap_below_threshold_keeps_incremental_placement():
+    switch = SwitchSpec(
+        stages=1, blocks_per_stage=2, block_bits=6400, rule_bits=64,
+        capacity_gbps=1000.0,
+    )
+    instance = ProblemInstance(
+        switch=switch,
+        sfcs=(
+            SFC(name="A", nf_types=(1,), rules=(200,), bandwidth_gbps=10.0),
+            SFC(name="B", nf_types=(1,), rules=(100,), bandwidth_gbps=1.0),
+            SFC(name="C", nf_types=(1,), rules=(100,), bandwidth_gbps=1.0),
+        ),
+        num_types=1,
+        max_recirculations=0,
+    )
+    updater = RuntimeUpdater(
+        greedy_place(instance, skip={0}),
+        reconfigure_threshold=0.9,  # above the 0.8 gap
+        reference_solver=lambda inst: greedy_place(inst),
+    )
+    result = updater.admit()
+    assert not result.reconfigured
+    assert set(updater.assignments) == {1, 2}

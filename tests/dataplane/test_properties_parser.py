@@ -40,6 +40,9 @@ def test_plain_frame_roundtrip(src, dst, sport, dport, proto, dscp):
 )
 @settings(max_examples=100, deadline=None)
 def test_vlan_frame_roundtrip(src, dst, sport, dport, proto, vlan):
+    # Same well-known-port collision as the plain-frame roundtrip: a VLAN
+    # frame whose UDP dst_port is 4789 parses as (truncated) VxLAN.
+    assume(not (proto == PROTO_UDP and dport == 4789))
     frame = build_frame(
         src_ip=src, dst_ip=dst, src_port=sport, dst_port=dport,
         protocol=proto, vlan_id=vlan,

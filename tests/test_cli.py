@@ -41,6 +41,15 @@ def test_place_appro(capsys):
     assert "feasibility: OK" in capsys.readouterr().out
 
 
+def test_controller_replays_churn(capsys):
+    assert main(["controller", "--quick", "--seed", "11"]) == 0
+    out = capsys.readouterr().out
+    assert "events/s" in out
+    assert "p99" in out
+    assert "live tenants:" in out
+    assert "counter" in out and "gauge" in out
+
+
 def test_fig5_quick(capsys):
     assert main(["fig5", "--quick", "--seed", "1"]) == 0
     out = capsys.readouterr().out

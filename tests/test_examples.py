@@ -22,6 +22,10 @@ def test_example_runs(script):
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip(), "examples narrate what they do"
+    if script.stem == "runtime_update_scenario":
+        # The controller-driven scenario must end on the churn invariant.
+        assert "invariant OK" in result.stdout
+        assert "modified its chain" in result.stdout
 
 
 def test_all_six_examples_present():
