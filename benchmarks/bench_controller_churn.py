@@ -92,8 +92,14 @@ def run(duration_s: float, with_dataplane: bool) -> dict:
         "modified": int(summary["modified"]),
         "rejected": int(summary["rejected"]),
         "events_per_sec": round(summary["events_per_sec"], 1),
-        "admit_p50_ms": round(summary["admit_p50_ms"], 3),
-        "admit_p99_ms": round(summary["admit_p99_ms"], 3),
+        "admit_p50_ms": (
+            None if summary["admit_p50_ms"] is None
+            else round(summary["admit_p50_ms"], 3)
+        ),
+        "admit_p99_ms": (
+            None if summary["admit_p99_ms"] is None
+            else round(summary["admit_p99_ms"], 3)
+        ),
         "rules_added": int(summary["rules_added"]),
         "rules_deleted": int(summary["rules_deleted"]),
         "live_tenants": len(controller.tenants),
@@ -120,12 +126,19 @@ def main(argv=None) -> int:
     duration = 15.0 if args.smoke else 60.0
     report = run(duration_s=duration, with_dataplane=True)
 
+    latency = (
+        "admit latency n/a"
+        if report["admit_p50_ms"] is None
+        else (
+            f"admit latency p50={report['admit_p50_ms']:.3f}ms "
+            f"p99={report['admit_p99_ms']:.3f}ms"
+        )
+    )
     print(
         f"{report['events']} events "
         f"({report['admitted']} admitted / {report['modified']} modified / "
         f"{report['evicted']} evicted / {report['rejected']} rejected): "
-        f"{report['events_per_sec']:,.0f} events/s, admit latency "
-        f"p50={report['admit_p50_ms']:.3f}ms p99={report['admit_p99_ms']:.3f}ms, "
+        f"{report['events_per_sec']:,.0f} events/s, {latency}, "
         f"rules +{report['rules_added']}/-{report['rules_deleted']}, "
         f"invariant {'OK' if report['invariant_ok'] else 'VIOLATED'}"
     )

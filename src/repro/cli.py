@@ -4,6 +4,8 @@
 place`` runs a placement algorithm over a synthesized workload; ``sfp
 controller`` replays a synthesized tenant-churn stream through the SFC
 controller and prints throughput, latency percentiles and rule churn;
+``sfp fabric`` replays churn over a multi-switch fabric (sharded
+controllers, cross-switch stitching, optional ``--drain`` failover demo);
 ``sfp demo`` walks a packet through a virtualized chain.  ``--quick``
 shrinks the paper-scale sweeps to seconds.
 """
@@ -158,6 +160,83 @@ def _cmd_controller(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.controller import ChurnConfig, load_events, synthesize_churn
+    from repro.experiments.config import PAPER_SWITCH, PAPER_WORKLOAD
+    from repro.fabric import (
+        FabricChurnEngine,
+        FabricOrchestrator,
+        FabricTopology,
+        make_partitioner,
+    )
+
+    topology = FabricTopology.full_mesh(
+        args.switches,
+        spec=PAPER_SWITCH,
+        link_capacity_gbps=args.link_capacity,
+    )
+    fabric = FabricOrchestrator(
+        topology,
+        num_types=PAPER_WORKLOAD.num_types,
+        partitioner=make_partitioner(args.partitioner),
+        with_dataplane=not args.no_dataplane,
+    )
+    if args.trace:
+        events = load_events(args.trace)
+    else:
+        workload = replace(PAPER_WORKLOAD, num_sfcs=0)
+        config = ChurnConfig(
+            duration_s=(5.0 if args.quick else args.duration),
+            arrival_rate_per_s=args.rate,
+            mean_lifetime_s=args.lifetime,
+            modify_fraction=args.modify_fraction,
+            workload=workload,
+        )
+        events = synthesize_churn(config, rng=args.seed)
+    report = FabricChurnEngine(fabric).replay(events)
+    print(f"fabric: {args.switches} switches ({args.partitioner}), "
+          f"{len(fabric.links)} links")
+    print(report.describe())
+    summary = fabric.summary()
+    print(f"live tenants: {summary['tenants']} "
+          f"({summary['stitched_tenants']} stitched across switches)")
+    for name, stats in summary["switches"].items():
+        print(f"  {name}: {stats['tenants']} tenants, "
+              f"backplane {stats['backplane_gbps']:.1f} Gbps")
+    counters = fabric.metrics_snapshot()["counters"]
+    for name in ("spillovers", "stitched"):
+        print(f"  counter {name:>12}: {counters.get(name, 0)}")
+    problems = fabric.check_invariant()
+    print(f"fabric invariant: {'OK' if not problems else problems}")
+    if problems:
+        return 1
+
+    if args.drain:
+        victim = (
+            args.drain
+            if args.drain != "auto"
+            else max(fabric.shards, key=lambda n: len(fabric.shards[n].tenants))
+        )
+        drain = fabric.drain(victim)
+        print(drain.describe())
+        if not args.no_dataplane and drain.rehomed:
+            forwarding = sum(
+                1 for t in drain.rehomed if fabric.probe_tenant(t)
+            )
+            print(f"  probes: {forwarding}/{drain.num_rehomed} re-homed "
+                  f"chains forward end-to-end")
+            if forwarding != drain.num_rehomed:
+                return 1
+        problems = fabric.check_invariant()
+        print(f"fabric invariant after drain: "
+              f"{'OK' if not problems else problems}")
+        if problems:
+            return 1
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.experiments.fig4_throughput import build_demo_pipeline
     from repro.traffic.flows import FlowGenerator
@@ -212,6 +291,45 @@ def main(argv: list[str] | None = None) -> int:
         help="control-plane only (skip the behavioural pipeline mirror)",
     )
     p.set_defaults(func=_cmd_controller)
+
+    p = sub.add_parser(
+        "fabric",
+        help="replay tenant churn over a multi-switch fabric (with optional "
+             "drain demo)",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--switches", type=int, default=4, help="number of fabric switches"
+    )
+    p.add_argument(
+        "--partitioner", choices=("hash", "least-backplane"), default="hash",
+        help="tenant->switch routing strategy",
+    )
+    p.add_argument(
+        "--link-capacity", type=float, default=400.0,
+        help="inter-switch link capacity (Gbps)",
+    )
+    p.add_argument(
+        "--trace", default=None,
+        help="replay a JSONL churn trace instead of synthesizing one",
+    )
+    p.add_argument("--duration", type=float, default=20.0, help="stream horizon (s)")
+    p.add_argument("--rate", type=float, default=8.0, help="tenant arrivals per second")
+    p.add_argument("--lifetime", type=float, default=5.0, help="mean tenant lifetime (s)")
+    p.add_argument(
+        "--modify-fraction", type=float, default=0.2,
+        help="fraction of tenants issuing one mid-lifetime chain modification",
+    )
+    p.add_argument(
+        "--drain", nargs="?", const="auto", default=None, metavar="SWITCH",
+        help="after the replay, drain SWITCH (default: the busiest) and "
+             "verify every re-homed chain still forwards",
+    )
+    p.add_argument(
+        "--no-dataplane", action="store_true",
+        help="control-plane only (skip the behavioural pipeline mirror)",
+    )
+    p.set_defaults(func=_cmd_fabric)
 
     p = sub.add_parser("demo", help="trace a packet through a virtualized chain")
     _add_common(p)

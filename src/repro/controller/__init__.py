@@ -39,7 +39,13 @@ from repro.controller.install import (
     InstallOutcome,
     TransactionalInstaller,
 )
-from repro.controller.metrics import Counter, Gauge, MetricsRegistry
+from repro.controller.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 
 __all__ = [
     "AdmissionDecision",
@@ -49,8 +55,10 @@ __all__ = [
     "ChurnEvent",
     "ChurnReport",
     "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
     "EventKind",
     "Gauge",
+    "Histogram",
     "InstallOutcome",
     "MetricsRegistry",
     "OpResult",

@@ -111,12 +111,16 @@ class SfcController:
         reserve_physical_block: bool = True,
         reconfigure_threshold: float | None = None,
         rule_factory: RuleFactory | None = None,
+        name: str = "switch",
     ) -> None:
         """``instance`` supplies the switch, catalog size and recirculation
         budget (its candidate SFCs, if any, are *not* auto-admitted).  With
         ``with_dataplane=False`` the controller runs control-plane only —
-        the mode the fig. 11 experiment replays at scale."""
+        the mode the fig. 11 experiment replays at scale.  ``name`` labels
+        this controller's switch — the fabric orchestrator runs one
+        controller per fabric switch and keys reports by it."""
         self.base = instance
+        self.name = name
         self.policy = policy or AdmissionPolicy()
         self.consolidate = consolidate
         self.reserve_physical_block = reserve_physical_block
@@ -134,7 +138,9 @@ class SfcController:
         self.installer: TransactionalInstaller | None = None
         if with_dataplane:
             self.pipeline = SwitchPipeline(
-                instance.switch, max_passes=instance.max_recirculations + 1
+                instance.switch,
+                max_passes=instance.max_recirculations + 1,
+                name=name,
             )
             self.installer = TransactionalInstaller(self.pipeline)
 
@@ -181,6 +187,23 @@ class SfcController:
     def metrics_snapshot(self) -> dict:
         """Current metrics as one plain dict (see :mod:`.metrics`)."""
         return self.metrics.snapshot()
+
+    def can_host(self, sfc: SFC) -> bool:
+        """Non-mutating feasibility probe: would :meth:`admit` accept this
+        chain right now?  Runs the admission screen and a trial placement,
+        then rolls the trial back — no tenant state, metrics, or data-plane
+        rules change.  The fabric's stitch planner uses this to screen
+        segment/switch candidates before committing any shard."""
+        if sfc.tenant_id in self.tenants:
+            return False
+        if not check_admission(sfc, self.state, self.policy, len(self.tenants)):
+            return False
+        snap = self.state.snapshot()
+        stages = try_place_chain(self.state, sfc, self.base.virtual_stages)
+        if stages is None:
+            return False
+        self.state.restore(snap)
+        return True
 
     # ------------------------------------------------------------------
     # Internal helpers

@@ -228,21 +228,26 @@ class ChurnReport:
             r.latency_s for _e, r in self.results if r.op == "admit" and r.ok
         ]
 
-    def admit_latency_percentile(self, q: float) -> float:
+    def admit_latency_percentile(self, q: float) -> float | None:
         """The ``q``-th percentile of successful-admit latency (seconds);
-        0.0 when no admit succeeded."""
+        ``None`` when no admit succeeded — never NaN, so summaries stay
+        JSON-clean on all-rejected replays (e.g. a drained fabric)."""
         latencies = self._admit_latencies()
         if not latencies:
-            return 0.0
+            return None
         return float(np.percentile(np.asarray(latencies), q))
 
-    def summary(self) -> dict[str, float]:
+    def summary(self) -> dict[str, float | None]:
         """The flat numbers the benchmark serializes: event counts by
-        outcome, throughput, admit-latency percentiles and rule churn."""
+        outcome, throughput, admit-latency percentiles and rule churn.
+        Latency percentiles are explicit ``None`` (JSON ``null``) when the
+        replay had zero successful admits."""
         admitted = sum(1 for _e, r in self.results if r.op == "admit" and r.ok)
         evicted = sum(1 for _e, r in self.results if r.op == "evict" and r.ok)
         modified = sum(1 for _e, r in self.results if r.op == "modify" and r.ok)
         rejected = sum(1 for _e, r in self.results if not r.ok)
+        p50 = self.admit_latency_percentile(50)
+        p99 = self.admit_latency_percentile(99)
         return {
             "events": float(self.num_events),
             "admitted": float(admitted),
@@ -250,8 +255,8 @@ class ChurnReport:
             "modified": float(modified),
             "rejected": float(rejected),
             "events_per_sec": self.events_per_sec,
-            "admit_p50_ms": self.admit_latency_percentile(50) * 1e3,
-            "admit_p99_ms": self.admit_latency_percentile(99) * 1e3,
+            "admit_p50_ms": None if p50 is None else p50 * 1e3,
+            "admit_p99_ms": None if p99 is None else p99 * 1e3,
             "rules_added": float(sum(r.rules_added for _e, r in self.results)),
             "rules_deleted": float(sum(r.rules_deleted for _e, r in self.results)),
         }
@@ -259,13 +264,19 @@ class ChurnReport:
     def describe(self) -> str:
         """Human-readable one-paragraph summary (the CLI's output)."""
         s = self.summary()
+        if s["admit_p50_ms"] is None:
+            latency = "admit latency n/a (no successful admits)"
+        else:
+            latency = (
+                f"admit latency p50={s['admit_p50_ms']:.3f}ms "
+                f"p99={s['admit_p99_ms']:.3f}ms"
+            )
         return (
             f"{int(s['events'])} events in {self.wall_seconds:.2f}s "
             f"({s['events_per_sec']:.0f} events/s): "
             f"{int(s['admitted'])} admitted, {int(s['modified'])} modified, "
             f"{int(s['evicted'])} evicted, {int(s['rejected'])} rejected; "
-            f"admit latency p50={s['admit_p50_ms']:.3f}ms "
-            f"p99={s['admit_p99_ms']:.3f}ms; "
+            f"{latency}; "
             f"rules +{int(s['rules_added'])}/-{int(s['rules_deleted'])}"
         )
 

@@ -36,6 +36,56 @@ class _Snapshot:
     backplane_gbps: float
 
 
+class LinkState:
+    """Capacity accounting for one inter-switch fabric link.
+
+    The fabric orchestrator charges a link with the bandwidth of every
+    stitched chain whose segments are split across its endpoints.  The
+    mechanism deliberately mirrors the switch-backplane accounting above
+    (:meth:`PipelineState.add_backplane` / ``release_backplane``): same
+    commit/release pair, same capacity check with the same tolerance, so a
+    link binds exactly the way Equation (12) binds a backplane — only the
+    capacity constant differs.
+    """
+
+    def __init__(self, capacity_gbps: float) -> None:
+        if capacity_gbps <= 0:
+            raise PlacementError(
+                f"link capacity must be positive, got {capacity_gbps}"
+            )
+        self.capacity_gbps = float(capacity_gbps)
+        #: Gbps committed to chains stitched across this link.
+        self.load_gbps = 0.0
+
+    @property
+    def residual_gbps(self) -> float:
+        """Uncommitted link bandwidth."""
+        return self.capacity_gbps - self.load_gbps
+
+    def fits(self, gbps: float) -> bool:
+        """Whether another ``gbps`` of stitched traffic fits this link."""
+        return self.load_gbps + gbps <= self.capacity_gbps + 1e-9
+
+    def add_load(self, gbps: float) -> None:
+        """Commit stitched-chain bandwidth; raises beyond capacity."""
+        if not self.fits(gbps):
+            raise PlacementError(
+                f"link capacity exceeded: {self.load_gbps + gbps:.1f} "
+                f"> {self.capacity_gbps:.1f} Gbps"
+            )
+        self.load_gbps += gbps
+
+    def release_load(self, gbps: float) -> None:
+        """Return stitched-chain bandwidth (tenant departure)."""
+        self.load_gbps = max(0.0, self.load_gbps - gbps)
+
+    def __repr__(self) -> str:
+        return (
+            f"LinkState(load={self.load_gbps:.1f}/"
+            f"{self.capacity_gbps:.1f} Gbps)"
+        )
+
+
 class PipelineState:
     """Resource occupancy of the switch pipeline during placement."""
 

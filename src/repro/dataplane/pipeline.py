@@ -28,8 +28,12 @@ class SwitchPipeline:
         max_passes: int = 4,
         actions: ActionRegistry | None = None,
         latency_model: AsicModel | None = None,
+        name: str = "switch",
     ) -> None:
         self.spec = spec if spec is not None else SwitchSpec()
+        #: Label distinguishing this pipeline when several run side by side
+        #: (the fabric orchestrator instantiates one per fabric switch).
+        self.name = name
         if max_passes < 1:
             raise DataPlaneError("max_passes must be >= 1")
         self.max_passes = max_passes
@@ -120,6 +124,7 @@ class SwitchPipeline:
 
     def __repr__(self) -> str:
         return (
-            f"SwitchPipeline(stages={self.num_stages}, max_passes={self.max_passes}, "
+            f"SwitchPipeline({self.name!r}, stages={self.num_stages}, "
+            f"max_passes={self.max_passes}, "
             f"tables={sum(len(s.tables) for s in self.stages)})"
         )

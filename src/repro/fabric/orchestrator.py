@@ -1,0 +1,611 @@
+"""The fabric orchestrator: N per-switch SFC controllers behind one API.
+
+:class:`FabricOrchestrator` shards tenant SFCs across a switch cluster.
+Every fabric switch runs its own full :class:`~repro.controller.controller.
+SfcController` — admission, placement, transactional data-plane installs —
+and the orchestrator owns only what is genuinely *cross*-switch:
+
+* **Routing.**  A pluggable partitioner (:mod:`repro.fabric.partitioner`)
+  yields a preference order over active switches; the orchestrator walks it
+  with per-switch admission as the fallback, recording spillover when a
+  tenant lands off its preferred shard.
+* **Stitching.**  Chains no single switch can host are split at a fold
+  boundary (:mod:`repro.fabric.stitching`) into two segments placed on
+  adjacent switches; the inter-switch link is charged the tenant's
+  bandwidth through :class:`~repro.core.state.LinkState` — the same
+  commit/release discipline as each switch's backplane.
+* **Drain / failover.**  ``drain(switch)`` excludes a switch and re-homes
+  its tenants through the normal admit path on the survivors, reporting
+  who moved and who could not be re-placed; the drained shard ends with
+  zero tenant rules.
+
+The orchestrator inherits the controller's bookkeeping discipline: link
+loads are renormalized in sorted-tenant order after every event, so the
+incremental fabric state (per-switch arrays + backplane floats + link
+floats) stays **bit-identical** to a from-scratch recomputation —
+:meth:`check_invariant` asserts exactly that, per shard and per link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from time import perf_counter
+
+import numpy as np
+
+from repro.controller.admission import AdmissionPolicy
+from repro.controller.controller import OpResult, RuleFactory, SfcController
+from repro.controller.metrics import MetricsRegistry
+from repro.core.spec import SFC, ProblemInstance
+from repro.core.state import LinkState, PipelineState
+from repro.errors import PlacementError
+from repro.fabric.partitioner import ConsistentHashPartitioner, Partitioner
+from repro.fabric.stitching import StitchPlan, plan_stitch
+from repro.fabric.topology import FabricTopology, LinkKey
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous piece of a tenant's chain on one fabric switch:
+    positions ``[start, stop)`` of the logical chain, installed as
+    ``sfc`` at virtual stages ``stages`` on ``switch``."""
+
+    switch: str
+    sfc: SFC
+    start: int
+    stop: int
+    stages: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class FabricTenant:
+    """Fabric-level directory entry: the tenant's full logical chain plus
+    where its segments live and which links they cross."""
+
+    sfc: SFC
+    segments: tuple[Segment, ...]
+    links: tuple[LinkKey, ...] = ()
+
+    @property
+    def stitched(self) -> bool:
+        return len(self.segments) > 1
+
+    @property
+    def switches(self) -> tuple[str, ...]:
+        return tuple(seg.switch for seg in self.segments)
+
+
+@dataclass
+class FabricOpResult:
+    """Outcome of one fabric operation.  Field-compatible with the
+    per-switch :class:`~repro.controller.controller.OpResult` where the
+    churn replay machinery needs it (``ok``/``op``/``latency_s``/rule
+    churn), plus the fabric-only routing facts."""
+
+    ok: bool
+    tenant_id: int
+    op: str
+    switches: tuple[str, ...] = ()
+    #: True when the chain was split across two switches.
+    stitched: bool = False
+    #: Preference rank of the accepting switch (0 = first choice; > 0
+    #: means the tenant spilled over past rejecting shards).
+    spillover: int = 0
+    reason: str | None = None
+    detail: str = ""
+    hitless: bool = True
+    latency_s: float = 0.0
+    rules_added: int = 0
+    rules_deleted: int = 0
+
+
+@dataclass(frozen=True)
+class DrainReport:
+    """What ``drain(switch)`` did to the drained switch's tenants."""
+
+    switch: str
+    rehomed: tuple[int, ...] = ()
+    evicted: tuple[int, ...] = ()
+
+    @property
+    def num_rehomed(self) -> int:
+        return len(self.rehomed)
+
+    @property
+    def num_evicted(self) -> int:
+        return len(self.evicted)
+
+    def describe(self) -> str:
+        """One-line human-readable summary (the CLI's output)."""
+        return (
+            f"drained {self.switch}: {self.num_rehomed} tenants re-homed, "
+            f"{self.num_evicted} evicted"
+        )
+
+
+class FabricOrchestrator:
+    """Tenant lifecycle (admit / evict / modify / drain) over a switch
+    cluster, one :class:`SfcController` shard per fabric switch."""
+
+    def __init__(
+        self,
+        topology: FabricTopology,
+        num_types: int,
+        partitioner: Partitioner | None = None,
+        with_dataplane: bool = True,
+        policy: AdmissionPolicy | None = None,
+        consolidate: bool = True,
+        reserve_physical_block: bool = True,
+        rule_factory: RuleFactory | None = None,
+    ) -> None:
+        self.topology = topology
+        self.num_types = num_types
+        self.partitioner = partitioner or ConsistentHashPartitioner()
+        self.with_dataplane = with_dataplane
+        self.shards: dict[str, SfcController] = {}
+        for name in topology.switch_names:
+            node = topology.nodes[name]
+            instance = ProblemInstance(
+                switch=node.spec,
+                sfcs=(),
+                num_types=num_types,
+                max_recirculations=node.max_recirculations,
+            )
+            self.shards[name] = SfcController(
+                instance,
+                with_dataplane=with_dataplane,
+                policy=policy,
+                consolidate=consolidate,
+                reserve_physical_block=reserve_physical_block,
+                rule_factory=rule_factory,
+                name=name,
+            )
+        self.links: dict[LinkKey, LinkState] = {
+            key: LinkState(link.capacity_gbps)
+            for key, link in topology.links.items()
+        }
+        #: Fabric-level tenant directory (the only cross-switch state).
+        self.tenants: dict[int, FabricTenant] = {}
+        self.drained: set[str] = set()
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def active_switches(self) -> list[str]:
+        """Sorted names of switches accepting new placements."""
+        return [n for n in self.topology.switch_names if n not in self.drained]
+
+    def metrics_snapshot(self) -> dict:
+        """Current fabric metrics as one plain dict."""
+        return self.metrics.snapshot()
+
+    def summary(self) -> dict:
+        """Aggregate fabric state as one JSON-native dict: per-switch
+        occupancy, link loads, tenant/stitch counts."""
+        switches = {}
+        for name in self.topology.switch_names:
+            shard = self.shards[name]
+            switches[name] = {
+                "tenants": len(shard.tenants),
+                "backplane_gbps": shard.state.backplane_gbps,
+                "blocks_used": [
+                    shard.state.blocks_at_stage(s)
+                    for s in range(shard.base.switch.stages)
+                ],
+                "drained": name in self.drained,
+            }
+        links = {
+            f"{a}-{b}": {
+                "load_gbps": self.links[(a, b)].load_gbps,
+                "capacity_gbps": self.links[(a, b)].capacity_gbps,
+            }
+            for a, b in sorted(self.links)
+        }
+        return {
+            "switches": switches,
+            "links": links,
+            "tenants": len(self.tenants),
+            "stitched_tenants": sum(
+                1 for rec in self.tenants.values() if rec.stitched
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _reject(
+        self, tenant_id: int, op: str, reason: str, detail: str, t0: float
+    ) -> FabricOpResult:
+        self.metrics.inc("rejected")
+        self.metrics.inc(f"rejected.{reason}")
+        return FabricOpResult(
+            ok=False,
+            tenant_id=tenant_id,
+            op=op,
+            reason=reason,
+            detail=detail,
+            latency_s=perf_counter() - t0,
+        )
+
+    def _refresh_gauges(self) -> None:
+        self.metrics.gauge("tenants").set(len(self.tenants))
+        self.metrics.gauge("stitched_tenants").set(
+            sum(1 for rec in self.tenants.values() if rec.stitched)
+        )
+        for name, shard in self.shards.items():
+            self.metrics.gauge(f"backplane_gbps.{name}").set(
+                shard.state.backplane_gbps
+            )
+            self.metrics.gauge(f"tenants.{name}").set(len(shard.tenants))
+        for (a, b), link in self.links.items():
+            self.metrics.gauge(f"link_load_gbps.{a}-{b}").set(link.load_gbps)
+
+    def _renormalize_links(self) -> None:
+        """Recompute every link's load in sorted-tenant order — the exact
+        accumulation a from-scratch recomputation over the directory uses,
+        so incremental link floats stay bit-identical to it (the fabric
+        analogue of the controller's backplane renormalization)."""
+        loads = {key: 0.0 for key in self.links}
+        for tenant_id in sorted(self.tenants):
+            record = self.tenants[tenant_id]
+            for key in record.links:
+                loads[key] += record.sfc.bandwidth_gbps
+        for key, total in loads.items():
+            self.links[key].load_gbps = total
+
+    def _observe_admit(self, switch: str, result: OpResult) -> None:
+        self.metrics.observe(f"admit_latency_s.{switch}", result.latency_s)
+
+    def _commit_stitch(
+        self, sfc: SFC, plan: StitchPlan, op: str, order: list[str], t0: float
+    ) -> FabricOpResult | None:
+        """Admit both planned segments and charge the link; ``None`` (with
+        any partial admit rolled back) if a shard refuses after all —
+        planning probed ``can_host``, so only a data-plane surprise can
+        land here."""
+        head_res = self.shards[plan.head_switch].admit(plan.head)
+        self._observe_admit(plan.head_switch, head_res)
+        if not head_res.ok:
+            return None
+        tail_res = self.shards[plan.tail_switch].admit(plan.tail)
+        self._observe_admit(plan.tail_switch, tail_res)
+        if not tail_res.ok:
+            self.shards[plan.head_switch].evict(sfc.tenant_id)
+            return None
+        self.links[plan.link].add_load(sfc.bandwidth_gbps)
+        self.tenants[sfc.tenant_id] = FabricTenant(
+            sfc=sfc,
+            segments=(
+                Segment(
+                    switch=plan.head_switch,
+                    sfc=plan.head,
+                    start=0,
+                    stop=plan.split,
+                    stages=head_res.stages,
+                ),
+                Segment(
+                    switch=plan.tail_switch,
+                    sfc=plan.tail,
+                    start=plan.split,
+                    stop=sfc.length,
+                    stages=tail_res.stages,
+                ),
+            ),
+            links=(plan.link,),
+        )
+        self._renormalize_links()
+        self.metrics.inc("stitched")
+        return FabricOpResult(
+            ok=True,
+            tenant_id=sfc.tenant_id,
+            op=op,
+            switches=(plan.head_switch, plan.tail_switch),
+            stitched=True,
+            spillover=order.index(plan.head_switch),
+            rules_added=head_res.rules_added + tail_res.rules_added,
+            latency_s=perf_counter() - t0,
+        )
+
+    def _place(self, sfc: SFC, op: str, t0: float) -> FabricOpResult:
+        """Route one chain: preferred shard first, spillover down the
+        partitioner order, cross-switch stitching as the last resort."""
+        order = self.partitioner.order(sfc, self)
+        if not order:
+            return self._reject(
+                sfc.tenant_id, op, "no-active-switch",
+                "every fabric switch is drained", t0,
+            )
+        last: OpResult | None = None
+        for rank, name in enumerate(order):
+            result = self.shards[name].admit(sfc)
+            self._observe_admit(name, result)
+            if result.ok:
+                self.tenants[sfc.tenant_id] = FabricTenant(
+                    sfc=sfc,
+                    segments=(
+                        Segment(
+                            switch=name,
+                            sfc=sfc,
+                            start=0,
+                            stop=sfc.length,
+                            stages=result.stages,
+                        ),
+                    ),
+                )
+                if rank:
+                    self.metrics.inc("spillovers")
+                return FabricOpResult(
+                    ok=True,
+                    tenant_id=sfc.tenant_id,
+                    op=op,
+                    switches=(name,),
+                    spillover=rank,
+                    rules_added=result.rules_added,
+                    latency_s=perf_counter() - t0,
+                )
+            last = result
+        plan = plan_stitch(self, sfc, order)
+        if plan is not None:
+            stitched = self._commit_stitch(sfc, plan, op, order, t0)
+            if stitched is not None:
+                return stitched
+        assert last is not None  # order was non-empty
+        return self._reject(
+            sfc.tenant_id, op, last.reason or "no-feasible-placement",
+            f"no single switch fits and stitching failed; last shard said: "
+            f"{last.detail}", t0,
+        )
+
+    def _remove(self, tenant_id: int) -> tuple[FabricTenant, int]:
+        """Evict every segment of a directory tenant and release its link
+        charges; returns the removed record and the rule-churn total."""
+        record = self.tenants.pop(tenant_id)
+        deleted = 0
+        for seg in record.segments:
+            result = self.shards[seg.switch].evict(tenant_id)
+            deleted += result.rules_deleted
+        for key in record.links:
+            self.links[key].release_load(record.sfc.bandwidth_gbps)
+        self._renormalize_links()
+        return record, deleted
+
+    # ------------------------------------------------------------------
+    # Lifecycle operations
+    # ------------------------------------------------------------------
+    def admit(self, sfc: SFC) -> FabricOpResult:
+        """Admit one tenant chain somewhere on the fabric."""
+        t0 = perf_counter()
+        if sfc.tenant_id in self.tenants:
+            return self._reject(
+                sfc.tenant_id, "admit", "duplicate-tenant",
+                f"tenant {sfc.tenant_id} already has a live chain", t0,
+            )
+        result = self._place(sfc, "admit", t0)
+        if result.ok:
+            self.metrics.inc("admitted")
+            self._refresh_gauges()
+        return result
+
+    def evict(self, tenant_id: int) -> FabricOpResult:
+        """Tenant departure: tear down every segment, release links."""
+        t0 = perf_counter()
+        if tenant_id not in self.tenants:
+            return self._reject(
+                tenant_id, "evict", "unknown-tenant",
+                f"tenant {tenant_id} has no live chain", t0,
+            )
+        record, deleted = self._remove(tenant_id)
+        self.metrics.inc("evicted")
+        self._refresh_gauges()
+        return FabricOpResult(
+            ok=True,
+            tenant_id=tenant_id,
+            op="evict",
+            switches=record.switches,
+            stitched=record.stitched,
+            rules_deleted=deleted,
+            latency_s=perf_counter() - t0,
+        )
+
+    def modify(self, tenant_id: int, new_chain: SFC) -> FabricOpResult:
+        """Swap a live tenant's chain.  Single-homed tenants first try a
+        hitless in-place modify on their home shard; stitched tenants (or
+        a home-shard refusal) fall back to re-homing — evict then re-admit
+        through the normal routing path (not hitless).  If the new chain
+        fits nowhere, the old chain is restored (its resources were just
+        freed, so the same routing re-places it) and the rejection is
+        returned."""
+        t0 = perf_counter()
+        record = self.tenants.get(tenant_id)
+        if record is None:
+            return self._reject(
+                tenant_id, "modify", "unknown-tenant",
+                f"tenant {tenant_id} has no live chain", t0,
+            )
+        new_sfc = replace(new_chain, tenant_id=tenant_id)
+        if not record.stitched:
+            home = record.segments[0].switch
+            result = self.shards[home].modify(tenant_id, new_sfc)
+            if result.ok:
+                self.tenants[tenant_id] = FabricTenant(
+                    sfc=new_sfc,
+                    segments=(
+                        Segment(
+                            switch=home,
+                            sfc=new_sfc,
+                            start=0,
+                            stop=new_sfc.length,
+                            stages=result.stages,
+                        ),
+                    ),
+                )
+                self.metrics.inc("modified")
+                self._refresh_gauges()
+                return FabricOpResult(
+                    ok=True,
+                    tenant_id=tenant_id,
+                    op="modify",
+                    switches=(home,),
+                    hitless=result.hitless,
+                    rules_added=result.rules_added,
+                    rules_deleted=result.rules_deleted,
+                    latency_s=perf_counter() - t0,
+                )
+        old_record, deleted = self._remove(tenant_id)
+        placed = self._place(new_sfc, "modify", t0)
+        if placed.ok:
+            self.metrics.inc("modified")
+            self.metrics.inc("modify_rehomed")
+            self._refresh_gauges()
+            placed.hitless = False
+            placed.rules_deleted += deleted
+            return placed
+        restored = self._place(old_record.sfc, "modify", t0)
+        if not restored.ok:
+            # Should be unreachable (the old chain's resources were just
+            # freed); counted so a regression cannot hide.
+            self.metrics.inc("modify_restore_failed")
+        self._refresh_gauges()
+        return placed
+
+    # ------------------------------------------------------------------
+    # Drain / failover
+    # ------------------------------------------------------------------
+    def drain(self, switch: str) -> DrainReport:
+        """Take ``switch`` out of service: exclude it from routing, then
+        re-home every tenant with a segment on it through the normal admit
+        path on the surviving shards.  Tenants that fit nowhere else are
+        evicted.  Afterwards the drained shard hosts zero tenants and zero
+        tenant rules."""
+        if switch not in self.shards:
+            raise PlacementError(f"unknown switch {switch!r}")
+        self.drained.add(switch)
+        affected = sorted(
+            tenant_id
+            for tenant_id, record in self.tenants.items()
+            if switch in record.switches
+        )
+        rehomed: list[int] = []
+        evicted: list[int] = []
+        for tenant_id in affected:
+            record, _deleted = self._remove(tenant_id)
+            placed = self._place(record.sfc, "drain", perf_counter())
+            if placed.ok:
+                rehomed.append(tenant_id)
+            else:
+                evicted.append(tenant_id)
+        self.metrics.inc("drains")
+        self.metrics.inc("drain.rehomed", len(rehomed))
+        self.metrics.inc("drain.evicted", len(evicted))
+        self._refresh_gauges()
+        return DrainReport(
+            switch=switch, rehomed=tuple(rehomed), evicted=tuple(evicted)
+        )
+
+    def undrain(self, switch: str) -> None:
+        """Return a drained switch to the routing pool (its tenants do not
+        move back; new arrivals may land on it again)."""
+        if switch not in self.shards:
+            raise PlacementError(f"unknown switch {switch!r}")
+        self.drained.discard(switch)
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def probe_tenant(self, tenant_id: int) -> bool:
+        """End-to-end forwarding check: inject one probe packet per segment
+        and require each to execute its segment's *complete* installed rule
+        generation, with the segments jointly covering the whole logical
+        chain.  Needs the data plane."""
+        from repro.controller.install import TENANT_MAP
+        from repro.dataplane.packet import Packet
+
+        if not self.with_dataplane:
+            raise PlacementError("probe_tenant needs with_dataplane=True")
+        record = self.tenants.get(tenant_id)
+        if record is None:
+            return False
+        covered = 0
+        for seg in record.segments:
+            shard = self.shards[seg.switch]
+            assert shard.pipeline is not None and shard.installer is not None
+            [result] = shard.pipeline.process_batch(
+                [Packet(tenant_id=tenant_id, pass_id=1)], trace=True
+            )
+            applied = [t for t in result.applied_tables() if t != TENANT_MAP]
+            expected = [
+                nf.table_name
+                for nf in shard.installer.installed[tenant_id].compiled
+            ]
+            if applied != expected:
+                return False
+            covered += len(applied)
+        return covered == record.sfc.length
+
+    def check_invariant(self) -> list[str]:
+        """Audit the whole fabric against a from-scratch recomputation.
+
+        Per shard: the incremental :class:`PipelineState` must be
+        bit-identical to :meth:`PipelineState.from_placement` over that
+        shard's surviving tenants.  Per link: the incremental load must
+        equal the sorted-tenant-order sum over the directory.  Plus
+        directory/shard cross-consistency and empty drained shards.
+        Returns human-readable problem strings (empty = invariant holds).
+        """
+        problems: list[str] = []
+        for name in self.topology.switch_names:
+            shard = self.shards[name]
+            reference = PipelineState.from_placement(
+                shard.placement,
+                reserve_physical_block=shard.reserve_physical_block,
+            )
+            if not np.array_equal(shard.state.entries, reference.entries):
+                problems.append(f"{name}: entry matrix drifted")
+            if not np.array_equal(shard.state.nf_blocks, reference.nf_blocks):
+                problems.append(f"{name}: nf-block matrix drifted")
+            if not np.array_equal(shard.state.physical, reference.physical):
+                problems.append(f"{name}: physical layout drifted")
+            for s in range(shard.base.switch.stages):
+                if shard.state.blocks_at_stage(s) != reference.blocks_at_stage(s):
+                    problems.append(f"{name}: stage {s} block total drifted")
+            if shard.state.backplane_gbps != reference.backplane_gbps:
+                problems.append(
+                    f"{name}: backplane {shard.state.backplane_gbps!r} != "
+                    f"recomputed {reference.backplane_gbps!r}"
+                )
+            expected_tenants = {
+                tenant_id
+                for tenant_id, record in self.tenants.items()
+                if name in record.switches
+            }
+            if set(shard.tenants) != expected_tenants:
+                problems.append(
+                    f"{name}: shard tenants {sorted(shard.tenants)} != "
+                    f"directory {sorted(expected_tenants)}"
+                )
+        for tenant_id in sorted(self.tenants):
+            for seg in self.tenants[tenant_id].segments:
+                shard_record = self.shards[seg.switch].tenants.get(tenant_id)
+                if shard_record is None or shard_record.sfc != seg.sfc:
+                    problems.append(
+                        f"tenant {tenant_id}: segment on {seg.switch} does "
+                        f"not match the shard's record"
+                    )
+        expected_loads = {key: 0.0 for key in self.links}
+        for tenant_id in sorted(self.tenants):
+            record = self.tenants[tenant_id]
+            for key in record.links:
+                expected_loads[key] += record.sfc.bandwidth_gbps
+        for key in sorted(self.links):
+            if self.links[key].load_gbps != expected_loads[key]:
+                problems.append(
+                    f"link {key}: load {self.links[key].load_gbps!r} != "
+                    f"recomputed {expected_loads[key]!r}"
+                )
+        for name in sorted(self.drained):
+            shard = self.shards[name]
+            if shard.tenants or shard.state.entries.sum() != 0:
+                problems.append(f"{name}: drained but not empty")
+        return problems

@@ -101,9 +101,52 @@ def test_metrics_registry():
     registry.inc("admitted", 2)
     registry.gauge("tenants").set(7)
     snap = registry.snapshot()
-    assert snap == {"counters": {"admitted": 3}, "gauges": {"tenants": 7.0}}
+    assert snap == {
+        "counters": {"admitted": 3},
+        "gauges": {"tenants": 7.0},
+        "histograms": {},
+    }
     with pytest.raises(PlacementError):
         registry.counter("admitted").inc(-1)
     # Snapshots are frozen copies, not views.
     registry.inc("admitted")
     assert snap["counters"]["admitted"] == 3
+
+
+def test_report_with_zero_successful_admits_is_nan_free(tiny_instance):
+    """Regression: an all-rejected replay (e.g. a drained fabric) must not
+    surface NaN percentiles — explicit ``None`` everywhere."""
+    import json
+    import math
+
+    controller = SfcController(tiny_instance, with_dataplane=False)
+    # Departures for tenants that never arrived: every event is rejected.
+    events = [
+        ChurnEvent(time_s=float(i), seq=i, kind=EventKind.DEPARTURE, tenant_id=i)
+        for i in range(5)
+    ]
+    report = ChurnEngine(controller).replay(events)
+    assert report.admit_latency_percentile(50) is None
+    assert report.admit_latency_percentile(99) is None
+    summary = report.summary()
+    assert summary["admitted"] == 0 and summary["rejected"] == 5
+    assert summary["admit_p50_ms"] is None
+    assert summary["admit_p99_ms"] is None
+    assert not any(
+        isinstance(v, float) and math.isnan(v) for v in summary.values()
+    )
+    # Serializes as standard JSON (explicit nulls, never NaN literals).
+    payload = json.dumps(summary, allow_nan=False)
+    assert json.loads(payload)["admit_p50_ms"] is None
+    assert "admit latency n/a" in report.describe()
+
+
+def test_empty_report_is_nan_free():
+    # An untouched report (no events at all) behaves the same way.
+    from repro.controller.events import ChurnReport
+
+    empty = ChurnReport()
+    assert empty.num_events == 0 and empty.events_per_sec == 0.0
+    assert empty.admit_latency_percentile(50) is None
+    assert empty.summary()["admit_p50_ms"] is None
+    assert "admit latency n/a" in empty.describe()

@@ -1,0 +1,48 @@
+"""Shared fixtures for the fabric tests: tiny switch specs and a chain
+factory with deterministic tenant numbering."""
+
+import pytest
+
+from repro.core.spec import SFC, SwitchSpec
+
+
+@pytest.fixture
+def tiny_spec() -> SwitchSpec:
+    """3 stages x 4 blocks of 100 entries, 10 Gbps backplane — small enough
+    that a couple of tenants saturate one switch."""
+    return SwitchSpec(
+        stages=3,
+        blocks_per_stage=4,
+        block_bits=6400,
+        rule_bits=64,
+        capacity_gbps=10.0,
+    )
+
+
+@pytest.fixture
+def short_spec() -> SwitchSpec:
+    """2 stages, R=1 pairs it with K=4 virtual stages — chains longer than
+    4 NFs *must* stitch across switches."""
+    return SwitchSpec(
+        stages=2,
+        blocks_per_stage=8,
+        block_bits=6400,
+        rule_bits=64,
+        capacity_gbps=100.0,
+    )
+
+
+def chain(
+    tenant_id: int,
+    nf_types=(1, 2, 3),
+    rules=(10, 10, 10),
+    bandwidth_gbps: float = 1.0,
+) -> SFC:
+    """A small deterministic chain request for tenant ``tenant_id``."""
+    return SFC(
+        name=f"tenant-{tenant_id}",
+        nf_types=tuple(nf_types),
+        rules=tuple(rules),
+        bandwidth_gbps=bandwidth_gbps,
+        tenant_id=tenant_id,
+    )

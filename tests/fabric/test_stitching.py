@@ -1,0 +1,86 @@
+"""Chain splitting and cross-switch stitch planning."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.fabric import (
+    FabricOrchestrator,
+    FabricTopology,
+    plan_stitch,
+    split_chain,
+    split_points,
+)
+
+from .conftest import chain
+
+
+def test_split_points_prefers_balanced_fold_boundaries():
+    # length 6, S=2: folds at 2 and 4 (balanced ties -> smaller index
+    # first... 2*2-6=-2 vs 2*4-6=2, equal |.|, tie-break j), then the rest.
+    assert split_points(6, 2) == [2, 4, 3, 1, 5]
+    # length 6, S=3: the only fold is the perfect midpoint.
+    assert split_points(6, 3) == [3, 2, 4, 1, 5]
+    assert split_points(1, 3) == []
+    assert split_points(0, 3) == []
+
+
+def test_split_chain_partitions_the_chain():
+    sfc = chain(9, nf_types=(1, 2, 3, 4), rules=(5, 6, 7, 8), bandwidth_gbps=2.0)
+    head, tail = split_chain(sfc, 3)
+    assert head.nf_types == (1, 2, 3) and head.rules == (5, 6, 7)
+    assert tail.nf_types == (4,) and tail.rules == (8,)
+    for seg in (head, tail):
+        assert seg.tenant_id == 9
+        assert seg.bandwidth_gbps == 2.0
+    assert head.name.endswith("#head") and tail.name.endswith("#tail")
+    for bad in (0, 4):
+        with pytest.raises(PlacementError):
+            split_chain(sfc, bad)
+
+
+@pytest.fixture
+def short_fabric(short_spec):
+    # K = 2*(1+1) = 4 virtual stages: a 6-NF chain cannot single-home.
+    topo = FabricTopology.full_mesh(3, spec=short_spec, max_recirculations=1)
+    return FabricOrchestrator(topo, num_types=6, with_dataplane=False)
+
+
+LONG = dict(nf_types=(1, 2, 3, 4, 5, 6), rules=(2, 2, 2, 2, 2, 2))
+
+
+def test_plan_stitch_finds_fold_boundary_split(short_fabric):
+    order = short_fabric.partitioner.order(chain(1, **LONG), short_fabric)
+    plan = plan_stitch(short_fabric, chain(1, **LONG), order)
+    assert plan is not None
+    assert plan.split % 2 == 0  # a fold boundary of the 2-stage pipeline
+    assert plan.head.nf_types + plan.tail.nf_types == (1, 2, 3, 4, 5, 6)
+    assert plan.head_switch != plan.tail_switch
+    assert plan.link in short_fabric.links
+
+
+def test_plan_stitch_is_read_only(short_fabric):
+    order = short_fabric.partitioner.order(chain(1, **LONG), short_fabric)
+    plan_stitch(short_fabric, chain(1, **LONG), order)
+    for shard in short_fabric.shards.values():
+        assert shard.tenants == {}
+        assert shard.state.entries.sum() == 0
+        assert shard.state.backplane_gbps == 0.0
+    assert all(link.load_gbps == 0.0 for link in short_fabric.links.values())
+
+
+def test_plan_stitch_degenerate_inputs(short_fabric):
+    order = short_fabric.partitioner.order(chain(1), short_fabric)
+    assert plan_stitch(short_fabric, chain(1, nf_types=(1,), rules=(2,)), order) is None
+    assert plan_stitch(short_fabric, chain(1, **LONG), order[:1]) is None
+
+
+def test_plan_stitch_respects_link_capacity(short_spec):
+    topo = FabricTopology.full_mesh(
+        3, spec=short_spec, max_recirculations=1, link_capacity_gbps=1.0
+    )
+    fabric = FabricOrchestrator(topo, num_types=6, with_dataplane=False)
+    big = chain(1, bandwidth_gbps=5.0, **LONG)
+    order = fabric.partitioner.order(big, fabric)
+    assert plan_stitch(fabric, big, order) is None
+    small = chain(1, bandwidth_gbps=0.5, **LONG)
+    assert plan_stitch(fabric, small, order) is not None

@@ -50,6 +50,46 @@ def test_controller_replays_churn(capsys):
     assert "counter" in out and "gauge" in out
 
 
+def test_fabric_replays_churn_and_drains(capsys):
+    code = main([
+        "fabric", "--quick", "--seed", "11", "--switches", "4", "--drain",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fabric: 4 switches (hash), 6 links" in out
+    assert "events/s" in out
+    assert "live tenants:" in out
+    assert "fabric invariant: OK" in out
+    assert "drained sw" in out
+    assert "re-homed chains forward end-to-end" in out
+    assert "fabric invariant after drain: OK" in out
+
+
+def test_fabric_least_backplane_trace_roundtrip(capsys, tmp_path):
+    from repro.controller import ChurnConfig, save_events, synthesize_churn
+    from repro.traffic.workload import WorkloadConfig
+
+    trace = tmp_path / "churn.jsonl"
+    config = ChurnConfig(
+        duration_s=4.0,
+        arrival_rate_per_s=6.0,
+        mean_lifetime_s=2.0,
+        workload=WorkloadConfig(
+            num_sfcs=0, num_types=8, avg_chain_length=2,
+            chain_length_spread=1, rules_min=1, rules_max=5,
+        ),
+    )
+    save_events(trace, synthesize_churn(config, rng=5))
+    code = main([
+        "fabric", "--switches", "3", "--partitioner", "least-backplane",
+        "--trace", str(trace), "--no-dataplane",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fabric: 3 switches (least-backplane), 3 links" in out
+    assert "fabric invariant: OK" in out
+
+
 def test_fig5_quick(capsys):
     assert main(["fig5", "--quick", "--seed", "1"]) == 0
     out = capsys.readouterr().out
