@@ -23,7 +23,6 @@ import argparse
 import json
 import os
 import sys
-import time
 
 if __package__ in (None, ""):  # running as a script: make src/ importable
     sys.path.insert(
@@ -31,6 +30,7 @@ if __package__ in (None, ""):  # running as a script: make src/ importable
     )
 
 from repro.dataplane.packet import Packet
+from repro.telemetry.metrics import Timer
 from repro.dataplane.table import (
     MatchActionTable,
     MatchField,
@@ -104,12 +104,12 @@ def measure_lookups_per_sec(
     """Lookups per second, timed over at least ``min_time_s`` of work."""
     lookup = table.lookup
     done = 0
-    start = time.perf_counter()
+    timer = Timer()
     while True:
         for p in packets:
             lookup(p)
         done += len(packets)
-        elapsed = time.perf_counter() - start
+        elapsed = timer.elapsed_s
         if elapsed >= min_time_s:
             return done / elapsed
 
@@ -147,12 +147,11 @@ def bench_pipeline_batch(num_packets: int = 2000) -> dict:
     gen = FlowGenerator(1)
     flows = gen.flows(64, tenant_id=1)
     batch = gen.packets(flows, num_packets, size_bytes=64)
-    start = time.perf_counter()
-    pipeline.process_batch(batch)
-    elapsed = time.perf_counter() - start
+    with Timer() as timer:
+        pipeline.process_batch(batch)
     return {
         "num_packets": num_packets,
-        "packets_per_sec": round(num_packets / elapsed, 1),
+        "packets_per_sec": round(num_packets / timer.elapsed_s, 1),
     }
 
 

@@ -6,8 +6,12 @@ controller`` replays a synthesized tenant-churn stream through the SFC
 controller and prints throughput, latency percentiles and rule churn;
 ``sfp fabric`` replays churn over a multi-switch fabric (sharded
 controllers, cross-switch stitching, optional ``--drain`` failover demo);
-``sfp demo`` walks a packet through a virtualized chain.  ``--quick``
-shrinks the paper-scale sweeps to seconds.
+``sfp demo`` walks a packet through a virtualized chain; ``sfp trace``
+admits a recirculating chain under a control-plane tracer and prints the
+causally linked span tree plus an INT-style packet postcard; ``sfp
+metrics`` replays churn with sampled telemetry and renders the registry in
+Prometheus text format.  ``--quick`` shrinks the paper-scale sweeps to
+seconds.
 """
 
 from __future__ import annotations
@@ -253,6 +257,101 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.spec import SFC
+    from repro.dataplane.packet import Packet
+    from repro.fabric import FabricOrchestrator, FabricTopology
+    from repro.telemetry import Tracer
+
+    topology = FabricTopology.full_mesh(args.switches)
+    tracer = Tracer()
+    fabric = FabricOrchestrator(topology, num_types=3, tracer=tracer)
+
+    # A chain longer than the physical pipeline, so the folded placement
+    # recirculates and the postcard shows multi-pass hops.
+    length = args.chain_length
+    sfc = SFC(
+        name="traced-chain",
+        nf_types=tuple((j % 3) + 1 for j in range(length)),
+        rules=(2,) * length,
+        bandwidth_gbps=1.0,
+        tenant_id=1,
+    )
+    result = fabric.admit(sfc)
+    print(f"admit tenant {sfc.tenant_id} ({length}-NF chain): "
+          f"ok={result.ok} switches={result.switches}")
+    if not result.ok:
+        print(f"  rejected: {result.reason} ({result.detail})")
+        return 1
+
+    print("\ncontrol-plane trace (one admit, one causally linked tree):")
+    for root in tracer.roots():
+        print(tracer.render_tree(root))
+
+    print("dataplane postcard (traced probe packet):")
+    for switch in result.switches:
+        shard = fabric.shards[switch]
+        assert shard.pipeline is not None
+        probe = shard.pipeline.process(
+            Packet(tenant_id=sfc.tenant_id, pass_id=1), trace=True
+        )
+        assert probe.postcard is not None
+        print(probe.postcard.describe())
+
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            json.dump(tracer.to_chrome_trace(), fh)
+        print(f"\nwrote Chrome trace_event file: {args.chrome} "
+              f"(load via chrome://tracing or https://ui.perfetto.dev)")
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            fh.write(tracer.export_jsonl())
+        print(f"wrote span JSONL: {args.jsonl}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.controller import ChurnConfig, ChurnEngine, SfcController, synthesize_churn
+    from repro.dataplane.packet import Packet
+    from repro.experiments.config import PAPER_SWITCH, PAPER_WORKLOAD
+    from repro.telemetry import PostcardCollector, render_prometheus
+    from repro.traffic.workload import make_instance
+
+    workload = replace(PAPER_WORKLOAD, num_sfcs=0)
+    config = ChurnConfig(
+        duration_s=(5.0 if args.quick else args.duration),
+        arrival_rate_per_s=args.rate,
+        workload=workload,
+    )
+    instance = make_instance(
+        workload, switch=PAPER_SWITCH, max_recirculations=2, rng=args.seed
+    )
+    controller = SfcController.for_instance(instance)
+    collector = PostcardCollector(sample_every=args.sample_every)
+    assert controller.pipeline is not None
+    controller.pipeline.telemetry = collector
+    ChurnEngine(controller).replay(synthesize_churn(config, rng=args.seed))
+    # Push probe traffic through the survivors so the postcard sampler has
+    # packets to observe (churn alone only exercises the control plane).
+    for tenant_id in sorted(controller.tenants):
+        controller.pipeline.process_batch(
+            [Packet(tenant_id=tenant_id, pass_id=1) for _ in range(args.probes)]
+        )
+    collector.publish(controller.metrics)
+    text = render_prometheus(controller.metrics)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -334,6 +433,52 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("demo", help="trace a packet through a virtualized chain")
     _add_common(p)
     p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser(
+        "trace",
+        help="admit a chain under the control-plane tracer and print the "
+             "span tree plus an INT-style packet postcard",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--switches", type=int, default=2, help="number of fabric switches"
+    )
+    p.add_argument(
+        "--chain-length", type=int, default=10,
+        help="NFs in the traced chain (longer than the pipeline => the "
+             "postcard shows recirculation passes)",
+    )
+    p.add_argument(
+        "--chrome", default=None, metavar="OUT",
+        help="also export the spans as a Chrome trace_event JSON file",
+    )
+    p.add_argument(
+        "--jsonl", default=None, metavar="OUT",
+        help="also export the spans as JSONL, one span per line",
+    )
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="replay churn with sampled telemetry and print the metrics "
+             "registry in Prometheus text format",
+    )
+    _add_common(p)
+    p.add_argument("--duration", type=float, default=20.0, help="stream horizon (s)")
+    p.add_argument("--rate", type=float, default=8.0, help="tenant arrivals per second")
+    p.add_argument(
+        "--sample-every", type=int, default=64,
+        help="postcard sampling period (0 = armed but never samples)",
+    )
+    p.add_argument(
+        "--probes", type=int, default=64,
+        help="probe packets per surviving tenant after the replay",
+    )
+    p.add_argument(
+        "-o", "--out", default=None,
+        help="write the exposition text to a file instead of stdout",
+    )
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser(
         "report", help="run all figures and write the EXPERIMENTS.md report"

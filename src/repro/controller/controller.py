@@ -36,13 +36,11 @@ expensive full reinstall, counted as such in the metrics).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable
 
 from repro.controller.admission import AdmissionPolicy, check_admission
 from repro.controller.install import TransactionalInstaller
-from repro.controller.metrics import MetricsRegistry
 from repro.core.greedy import _ensure_all_types, greedy_place, sfc_metric, try_place_chain
 from repro.core.placement import NFAssignment, Placement
 from repro.core.spec import SFC, ProblemInstance
@@ -53,6 +51,9 @@ from repro.dataplane.table import TableEntry
 from repro.dataplane.virtualization import LogicalNF, LogicalSFC, physical_table_name
 from repro.errors import DataPlaneError
 from repro.nfs.registry import get_nf, install_physical_nf
+from repro.telemetry.metrics import MetricsRegistry, Timer
+from repro.telemetry.recorder import FlightRecorder
+from repro.telemetry.spans import Tracer, maybe_span
 
 #: ``rule_factory(sfc, position, nf_name) -> rules`` — the concrete table
 #: entries carried by one NF of a tenant's chain on the functional data
@@ -112,13 +113,21 @@ class SfcController:
         reconfigure_threshold: float | None = None,
         rule_factory: RuleFactory | None = None,
         name: str = "switch",
+        tracer: Tracer | None = None,
+        recorder: FlightRecorder | None = None,
     ) -> None:
         """``instance`` supplies the switch, catalog size and recirculation
         budget (its candidate SFCs, if any, are *not* auto-admitted).  With
         ``with_dataplane=False`` the controller runs control-plane only —
         the mode the fig. 11 experiment replays at scale.  ``name`` labels
         this controller's switch — the fabric orchestrator runs one
-        controller per fabric switch and keys reports by it."""
+        controller per fabric switch and keys reports by it.
+
+        ``tracer``/``recorder`` are the optional telemetry hooks: with a
+        tracer attached every lifecycle op opens a ``controller.<op>`` span
+        whose children cover admission, placement, the two-phase install and
+        each ``runtime.write`` batch; a recorder additionally keeps the
+        recent state transitions in its ring."""
         self.base = instance
         self.name = name
         self.policy = policy or AdmissionPolicy()
@@ -133,6 +142,8 @@ class SfcController:
         )
         self.tenants: dict[int, TenantRecord] = {}
         self.metrics = MetricsRegistry()
+        self.tracer = tracer
+        self.recorder = recorder
         self.with_dataplane = with_dataplane
         self.pipeline: SwitchPipeline | None = None
         self.installer: TransactionalInstaller | None = None
@@ -143,6 +154,10 @@ class SfcController:
                 name=name,
             )
             self.installer = TransactionalInstaller(self.pipeline)
+            # Cascade the tracer down the install path so one admit yields
+            # one causally linked tree: controller -> install -> runtime.write.
+            self.installer.tracer = tracer
+            self.installer.api.tracer = tracer
 
     # ------------------------------------------------------------------
     @classmethod
@@ -228,7 +243,7 @@ class SfcController:
         )
 
     def _reject(
-        self, tenant_id: int, op: str, reason: str, detail: str, t0: float
+        self, tenant_id: int, op: str, reason: str, detail: str, timer: Timer
     ) -> OpResult:
         self.metrics.inc("rejected")
         self.metrics.inc(f"rejected.{reason}")
@@ -238,8 +253,19 @@ class SfcController:
             op=op,
             reason=reason,
             detail=detail,
-            latency_s=time.perf_counter() - t0,
+            latency_s=timer.elapsed_s,
         )
+
+    def _record_op(self, result: OpResult) -> None:
+        """Log one lifecycle outcome as a flight-recorder state transition."""
+        if self.recorder is not None:
+            self.recorder.record_state(
+                f"controller.{result.op}",
+                switch=self.name,
+                tenant=result.tenant_id,
+                ok=result.ok,
+                reason=result.reason,
+            )
 
     def _logical(self, sfc: SFC) -> LogicalSFC:
         """Lower a control-plane SFC to the data plane's logical form, with
@@ -302,23 +328,38 @@ class SfcController:
         residual resources, then the two-phase data-plane install.  Any
         data-plane rejection rolls the control plane back to its pre-event
         snapshot."""
-        t0 = time.perf_counter()
+        with maybe_span(
+            self.tracer, "controller.admit", switch=self.name, tenant=sfc.tenant_id
+        ) as span, self.metrics.timer("op_latency_s.admit") as timer:
+            result = self._admit(sfc, timer)
+            span.set(ok=result.ok, reason=result.reason)
+        self._record_op(result)
+        return result
+
+    def _admit(self, sfc: SFC, timer: Timer) -> OpResult:
         tenant_id = sfc.tenant_id
         if tenant_id in self.tenants:
             return self._reject(
                 tenant_id, "admit", "duplicate-tenant",
-                f"tenant {tenant_id} already has a live chain", t0,
+                f"tenant {tenant_id} already has a live chain", timer,
             )
-        decision = check_admission(sfc, self.state, self.policy, len(self.tenants))
+        with maybe_span(self.tracer, "controller.admission", tenant=tenant_id) as sp:
+            decision = check_admission(sfc, self.state, self.policy, len(self.tenants))
+            sp.set(ok=bool(decision))
         if not decision:
-            return self._reject(tenant_id, "admit", decision.reason, decision.detail, t0)
+            return self._reject(
+                tenant_id, "admit", decision.reason, decision.detail, timer
+            )
 
         snap = self.state.snapshot()
-        stages = try_place_chain(self.state, sfc, self.base.virtual_stages)
+        with maybe_span(self.tracer, "controller.placement", tenant=tenant_id) as sp:
+            stages = try_place_chain(self.state, sfc, self.base.virtual_stages)
+            sp.set(placed=stages is not None)
         if stages is None:
             return self._reject(
                 tenant_id, "admit", "no-feasible-placement",
-                "admission passed but no placement fits the residual resources", t0,
+                "admission passed but no placement fits the residual resources",
+                timer,
             )
 
         if self.with_dataplane:
@@ -332,7 +373,7 @@ class SfcController:
                 self.state.restore(snap)
                 self.metrics.inc("installs_rolled_back")
                 return self._reject(
-                    tenant_id, "admit", "dataplane-rejected", str(exc), t0
+                    tenant_id, "admit", "dataplane-rejected", str(exc), timer
                 )
 
         self.tenants[tenant_id] = TenantRecord(sfc=sfc, stages=stages)
@@ -349,19 +390,27 @@ class SfcController:
             op="admit",
             stages=stages,
             rules_added=added,
-            latency_s=time.perf_counter() - t0,
+            latency_s=timer.elapsed_s,
         )
 
     # ------------------------------------------------------------------
     def evict(self, tenant_id: int) -> OpResult:
         """Tenant departure: release control-plane resources, then detach
         and garbage-collect the data-plane rules (two-phase)."""
-        t0 = time.perf_counter()
+        with maybe_span(
+            self.tracer, "controller.evict", switch=self.name, tenant=tenant_id
+        ) as span, self.metrics.timer("op_latency_s.evict") as timer:
+            result = self._evict(tenant_id, timer)
+            span.set(ok=result.ok, reason=result.reason)
+        self._record_op(result)
+        return result
+
+    def _evict(self, tenant_id: int, timer: Timer) -> OpResult:
         record = self.tenants.pop(tenant_id, None)
         if record is None:
             return self._reject(
                 tenant_id, "evict", "unknown-tenant",
-                f"tenant {tenant_id} has no live chain", t0,
+                f"tenant {tenant_id} has no live chain", timer,
             )
         S = self.base.switch.stages
         for j, k in enumerate(record.stages):
@@ -381,7 +430,7 @@ class SfcController:
             tenant_id=tenant_id,
             op="evict",
             rules_deleted=deleted,
-            latency_s=time.perf_counter() - t0,
+            latency_s=timer.elapsed_s,
         )
 
     # ------------------------------------------------------------------
@@ -393,12 +442,20 @@ class SfcController:
         the pre-event snapshot and the old chain stays live.  Data plane:
         make-before-break via :meth:`TransactionalInstaller.replace`
         (``hitless=False`` on the result when it had to degrade)."""
-        t0 = time.perf_counter()
+        with maybe_span(
+            self.tracer, "controller.modify", switch=self.name, tenant=tenant_id
+        ) as span, self.metrics.timer("op_latency_s.modify") as timer:
+            result = self._modify(tenant_id, new_chain, timer)
+            span.set(ok=result.ok, reason=result.reason, hitless=result.hitless)
+        self._record_op(result)
+        return result
+
+    def _modify(self, tenant_id: int, new_chain: SFC, timer: Timer) -> OpResult:
         record = self.tenants.get(tenant_id)
         if record is None:
             return self._reject(
                 tenant_id, "modify", "unknown-tenant",
-                f"tenant {tenant_id} has no live chain", t0,
+                f"tenant {tenant_id} has no live chain", timer,
             )
         new_sfc = replace(new_chain, tenant_id=tenant_id)
         snap = self.state.snapshot()
@@ -410,18 +467,24 @@ class SfcController:
         old_passes = -(-record.stages[-1] // S)
         self.state.release_backplane(old_passes * record.sfc.bandwidth_gbps)
 
-        decision = check_admission(
-            new_sfc, self.state, self.policy, len(self.tenants) - 1
-        )
+        with maybe_span(self.tracer, "controller.admission", tenant=tenant_id) as sp:
+            decision = check_admission(
+                new_sfc, self.state, self.policy, len(self.tenants) - 1
+            )
+            sp.set(ok=bool(decision))
         if not decision:
             self.state.restore(snap)
-            return self._reject(tenant_id, "modify", decision.reason, decision.detail, t0)
-        stages = try_place_chain(self.state, new_sfc, self.base.virtual_stages)
+            return self._reject(
+                tenant_id, "modify", decision.reason, decision.detail, timer
+            )
+        with maybe_span(self.tracer, "controller.placement", tenant=tenant_id) as sp:
+            stages = try_place_chain(self.state, new_sfc, self.base.virtual_stages)
+            sp.set(placed=stages is not None)
         if stages is None:
             self.state.restore(snap)
             return self._reject(
                 tenant_id, "modify", "no-feasible-placement",
-                "new chain does not fit the residual resources", t0,
+                "new chain does not fit the residual resources", timer,
             )
 
         hitless = True
@@ -437,7 +500,7 @@ class SfcController:
                 self.state.restore(snap)
                 self.metrics.inc("installs_rolled_back")
                 return self._reject(
-                    tenant_id, "modify", "dataplane-rejected", str(exc), t0
+                    tenant_id, "modify", "dataplane-rejected", str(exc), timer
                 )
 
         self.tenants[tenant_id] = TenantRecord(sfc=new_sfc, stages=stages)
@@ -458,7 +521,7 @@ class SfcController:
             hitless=hitless,
             rules_added=added,
             rules_deleted=deleted,
-            latency_s=time.perf_counter() - t0,
+            latency_s=timer.elapsed_s,
         )
 
     # ------------------------------------------------------------------

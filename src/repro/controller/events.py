@@ -17,7 +17,6 @@ import enum
 import json
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from time import perf_counter
 from typing import Iterable
 
 import numpy as np
@@ -302,8 +301,8 @@ class ChurnEngine:
     def replay(self, events: Iterable[ChurnEvent]) -> ChurnReport:
         """Apply every event in order and collect the report."""
         report = ChurnReport()
-        start = perf_counter()
-        for event in events:
-            report.results.append((event, self.apply(event)))
-        report.wall_seconds = perf_counter() - start
+        with self.controller.metrics.timer("replay_wall_s") as timer:
+            for event in events:
+                report.results.append((event, self.apply(event)))
+        report.wall_seconds = timer.elapsed_s
         return report

@@ -41,6 +41,7 @@ from repro.dataplane.runtime_api import OpType, RuntimeAPI, WriteOp, WriteResult
 from repro.dataplane.table import MatchActionTable, TableEntry
 from repro.dataplane.virtualization import CompiledNF, LogicalSFC, compile_sfc
 from repro.errors import DataPlaneError
+from repro.telemetry.spans import Tracer, maybe_span
 
 #: Wire IDs live far above any raw tenant ID (VLAN IDs < 2^12; workload
 #: tenant indices are small), so the two namespaces cannot collide.
@@ -83,6 +84,10 @@ class TransactionalInstaller:
         #: Test/observability hook: called as ``on_batch(phase, result)``
         #: after each phase commits, with the pipeline in a consistent state.
         self.on_batch: Callable[[str, WriteResult], None] | None = None
+        #: Optional tracer: each operation opens an ``install.<op>`` span
+        #: whose children are the per-phase ``runtime.write`` spans (set
+        #: :attr:`api` ``.tracer`` to the same tracer to get them).
+        self.tracer: Tracer | None = None
         self._install_map_table()
 
     # ------------------------------------------------------------------
@@ -151,6 +156,16 @@ class TransactionalInstaller:
     ) -> InstallOutcome:
         """Admit a tenant: write its rules under a fresh wire ID (phase 1,
         inert), then attach traffic with one map-entry insert (phase 2)."""
+        with maybe_span(
+            self.tracer, "install.install", tenant=sfc.tenant_id
+        ) as span:
+            outcome = self._install(sfc, assignment)
+            span.set(rules_inserted=outcome.rules_inserted)
+            return outcome
+
+    def _install(
+        self, sfc: LogicalSFC, assignment: tuple[int, ...]
+    ) -> InstallOutcome:
         if sfc.tenant_id in self.installed:
             raise DataPlaneError(f"tenant {sfc.tenant_id} already installed")
         wire = self._alloc_wire()
@@ -183,6 +198,12 @@ class TransactionalInstaller:
     def evict(self, tenant_id: int) -> InstallOutcome:
         """Tenant departure: detach traffic first (phase 1, one map delete),
         then garbage-collect the unreachable rules (phase 2)."""
+        with maybe_span(self.tracer, "install.evict", tenant=tenant_id) as span:
+            outcome = self._evict(tenant_id)
+            span.set(rules_deleted=outcome.rules_deleted)
+            return outcome
+
+    def _evict(self, tenant_id: int) -> InstallOutcome:
         record = self.installed.pop(tenant_id, None)
         if record is None:
             raise DataPlaneError(f"tenant {tenant_id} has no installed chain")
@@ -208,6 +229,16 @@ class TransactionalInstaller:
         atomically, delete the old generation.  Falls back to
         break-before-make when the transient double occupancy does not fit
         (``hitless=False`` on the outcome)."""
+        with maybe_span(
+            self.tracer, "install.replace", tenant=sfc.tenant_id
+        ) as span:
+            outcome = self._replace(sfc, assignment)
+            span.set(hitless=outcome.hitless)
+            return outcome
+
+    def _replace(
+        self, sfc: LogicalSFC, assignment: tuple[int, ...]
+    ) -> InstallOutcome:
         record = self.installed.get(sfc.tenant_id)
         if record is None:
             raise DataPlaneError(f"tenant {sfc.tenant_id} has no installed chain")

@@ -1,195 +1,27 @@
-"""Controller observability: counters, gauges, histograms, and snapshots.
+"""Backward-compatible re-export of :mod:`repro.telemetry.metrics`.
 
-A deliberately small Prometheus-flavoured metrics layer.  Counters are
-monotonic (admissions, rejections by reason, rule churn, rollbacks); gauges
-are set to the latest observed value (live tenants, objective, residual
-memory per stage); histograms bin observations into fixed buckets (the
-fabric orchestrator tracks per-switch admit latency this way).
-:meth:`MetricsRegistry.snapshot` freezes everything into one plain ``dict``
-of name-sorted sub-dicts built from JSON-native types only, so serialized
-snapshots are deterministic and diff cleanly — the shape the churn
-benchmarks serialize to ``BENCH_controller.json`` / ``BENCH_fabric.json``
-and the ``sfp controller`` / ``sfp fabric`` CLIs print.
+The metrics layer started life inside the controller package and moved to
+the cross-cutting telemetry subsystem once the data plane and fabric grew
+their own consumers.  Every public name is re-exported here unchanged —
+``from repro.controller.metrics import MetricsRegistry`` keeps working, and
+the classes are *identical* objects (``is``-equal) to the telemetry ones,
+so isinstance checks across the two import paths agree.
 """
 
-from __future__ import annotations
-
-import bisect
-from dataclasses import dataclass, field
-
-from repro.errors import PlacementError
-
-#: Default histogram buckets (upper bounds, seconds) spanning the admit
-#: latencies the pure-python controller produces: 10 µs .. 1 s, roughly
-#: logarithmic.  An implicit overflow bucket catches everything above.
-DEFAULT_LATENCY_BUCKETS = (
-    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
-    1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1.0,
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
 )
 
-
-@dataclass
-class Counter:
-    """A monotonically increasing counter."""
-
-    name: str
-    value: int = 0
-
-    def inc(self, n: int = 1) -> None:
-        """Add ``n`` (>= 0) to the counter."""
-        if n < 0:
-            raise PlacementError(f"counter {self.name!r}: negative increment {n}")
-        self.value += n
-
-
-@dataclass
-class Gauge:
-    """A gauge holding the latest observed value."""
-
-    name: str
-    value: float = 0.0
-
-    def set(self, value: float) -> None:
-        """Record the latest observation."""
-        self.value = float(value)
-
-
-class Histogram:
-    """A fixed-bucket histogram of non-negative observations.
-
-    ``buckets`` are ascending upper bounds; an implicit overflow bucket
-    catches observations above the last bound.  Bounds are fixed at
-    construction (no rebinning), so merging/diffing snapshots is trivial
-    and :meth:`observe` is one bisect.  Designed for latencies: quantiles
-    interpolate linearly inside a bucket with the first bucket anchored at
-    zero.
-    """
-
-    def __init__(
-        self, name: str, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
-    ) -> None:
-        bounds = tuple(float(b) for b in buckets)
-        if not bounds:
-            raise PlacementError(f"histogram {name!r}: needs >= 1 bucket")
-        if any(b <= a for a, b in zip(bounds, bounds[1:])):
-            raise PlacementError(
-                f"histogram {name!r}: bucket bounds must be strictly "
-                f"ascending, got {bounds}"
-            )
-        self.name = name
-        self.bounds = bounds
-        #: Per-bucket counts; the extra last slot is the overflow bucket.
-        self.counts = [0] * (len(bounds) + 1)
-        self.count = 0
-        self.sum = 0.0
-
-    def observe(self, value: float) -> None:
-        """Record one observation (bucket bounds are inclusive, Prometheus
-        ``le`` style)."""
-        value = float(value)
-        self.counts[bisect.bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.sum += value
-
-    def quantile(self, q: float) -> float | None:
-        """The ``q``-th percentile (``q`` in [0, 100], matching
-        ``numpy.percentile``), linearly interpolated within the covering
-        bucket; observations in the overflow bucket clamp to the last
-        bound.  ``None`` when nothing has been observed — never NaN."""
-        if not 0.0 <= q <= 100.0:
-            raise PlacementError(f"histogram {self.name!r}: percentile {q}")
-        if self.count == 0:
-            return None
-        rank = q / 100.0 * self.count
-        cumulative = 0
-        for idx, bucket_count in enumerate(self.counts):
-            if bucket_count == 0:
-                continue
-            lo = 0.0 if idx == 0 else self.bounds[idx - 1]
-            hi = self.bounds[min(idx, len(self.bounds) - 1)]
-            if cumulative + bucket_count >= rank:
-                if idx == len(self.bounds):  # overflow: clamp to last bound
-                    return hi
-                fraction = max(0.0, rank - cumulative) / bucket_count
-                return lo + fraction * (hi - lo)
-            cumulative += bucket_count
-        return self.bounds[-1]  # pragma: no cover — rank <= count always hits
-
-    def snapshot(self) -> dict:
-        """Plain JSON-native form: count, sum, p50/p99 estimates, and the
-        ``[upper_bound, count]`` rows (overflow bound serialized as
-        ``None`` so the JSON stays standard)."""
-        rows = [
-            [self.bounds[i] if i < len(self.bounds) else None, self.counts[i]]
-            for i in range(len(self.counts))
-        ]
-        return {
-            "count": self.count,
-            "sum": self.sum,
-            "p50": self.quantile(50),
-            "p99": self.quantile(99),
-            "buckets": rows,
-        }
-
-
-@dataclass
-class MetricsRegistry:
-    """Name-addressed counters, gauges, and histograms with one-call
-    snapshots.
-
-    Metric names are free-form dotted strings; reason-coded rejections use
-    the ``rejected.<reason>`` convention next to the ``rejected`` total,
-    and the fabric's per-switch latencies use ``admit_latency_s.<switch>``.
-    """
-
-    counters: dict[str, Counter] = field(default_factory=dict)
-    gauges: dict[str, Gauge] = field(default_factory=dict)
-    histograms: dict[str, Histogram] = field(default_factory=dict)
-
-    def counter(self, name: str) -> Counter:
-        """The counter called ``name``, created at zero on first use."""
-        counter = self.counters.get(name)
-        if counter is None:
-            counter = self.counters[name] = Counter(name)
-        return counter
-
-    def gauge(self, name: str) -> Gauge:
-        """The gauge called ``name``, created at zero on first use."""
-        gauge = self.gauges.get(name)
-        if gauge is None:
-            gauge = self.gauges[name] = Gauge(name)
-        return gauge
-
-    def histogram(
-        self, name: str, buckets: tuple[float, ...] | None = None
-    ) -> Histogram:
-        """The histogram called ``name``, created empty on first use
-        (``buckets`` only applies at creation; later calls reuse the
-        existing bounds)."""
-        histogram = self.histograms.get(name)
-        if histogram is None:
-            histogram = self.histograms[name] = Histogram(
-                name, buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS
-            )
-        return histogram
-
-    def inc(self, name: str, n: int = 1) -> None:
-        """Shorthand for ``counter(name).inc(n)``."""
-        self.counter(name).inc(n)
-
-    def observe(self, name: str, value: float) -> None:
-        """Shorthand for ``histogram(name).observe(value)``."""
-        self.histogram(name).observe(value)
-
-    def snapshot(self) -> dict:
-        """Freeze every metric into ``{"counters": {...}, "gauges": {...},
-        "histograms": {...}}`` — plain dicts of JSON-native values with
-        names sorted, so serialized snapshots are deterministic and diff
-        cleanly."""
-        return {
-            "counters": {n: self.counters[n].value for n in sorted(self.counters)},
-            "gauges": {n: self.gauges[n].value for n in sorted(self.gauges)},
-            "histograms": {
-                n: self.histograms[n].snapshot() for n in sorted(self.histograms)
-            },
-        }
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+]

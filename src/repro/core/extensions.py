@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.placement import NFAssignment, Placement
+from repro.core.placement import Placement
 from repro.core.spec import SFC, ProblemInstance
 from repro.errors import PlacementError
 

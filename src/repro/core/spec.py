@@ -24,7 +24,7 @@ the paper's ``s_l = 0`` convention).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import PlacementError
 

@@ -10,8 +10,12 @@ recirculation pass counter every virtualized rule matches on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import DataPlaneError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.postcards import PacketPostcard
 
 #: Header/metadata fields a match key may reference.
 MATCHABLE_FIELDS = (
@@ -87,6 +91,10 @@ class PacketResult:
     trace: list[tuple[int, int, str, str]] = field(default_factory=list)
     #: Modeled processing latency (ns), filled by the latency model.
     latency_ns: float = 0.0
+    #: The INT-style per-hop record, present when the packet was traced or
+    #: sampled by the pipeline's :class:`PostcardCollector` (``trace`` above
+    #: is derived from it — the legacy flag is a thin wrapper).
+    postcard: "PacketPostcard | None" = None
 
     @property
     def delivered(self) -> bool:

@@ -17,6 +17,7 @@ from repro.dataplane.packet import Packet, PacketResult
 from repro.dataplane.resources import StageResources
 from repro.dataplane.stage import Stage
 from repro.errors import DataPlaneError
+from repro.telemetry.postcards import PacketPostcard, PostcardCollector
 
 
 class SwitchPipeline:
@@ -53,6 +54,11 @@ class SwitchPipeline:
         ]
         #: Packets that exhausted max_passes while still asking to recirculate.
         self.recirculation_overflows = 0
+        #: Opt-in INT-style telemetry: attach a
+        #: :class:`~repro.telemetry.postcards.PostcardCollector` and every
+        #: 1-in-N packet accumulates a per-hop postcard (``None`` = off; the
+        #: cost of the disabled hook is one branch per packet).
+        self.telemetry: PostcardCollector | None = None
 
     @property
     def num_stages(self) -> int:
@@ -79,8 +85,22 @@ class SwitchPipeline:
         trace: bool = False,
         _resolved: dict | None = None,
     ) -> PacketResult:
-        """Push one packet through the pipeline (with recirculation)."""
-        trace_rows: list[tuple[int, int, str, str]] | None = [] if trace else None
+        """Push one packet through the pipeline (with recirculation).
+
+        ``trace=True`` forces a full per-hop postcard (the legacy trace
+        rows on the result are derived from it); independently, an attached
+        :attr:`telemetry` collector samples 1-in-N packets into postcards
+        of its own.  Either way the card rides on ``result.postcard``.
+        """
+        collector = self.telemetry
+        sampled = collector is not None and collector.should_sample()
+        card: PacketPostcard | None = None
+        if trace or sampled:
+            card = PacketPostcard(
+                switch=self.name,
+                tenant_id=packet.tenant_id,
+                stage_ns=self.latency_model.stage_ns,
+            )
         passes = 0
         while True:
             passes += 1
@@ -89,8 +109,8 @@ class SwitchPipeline:
                 if packet.dropped:
                     break
                 stage.apply(
-                    packet, self.actions, packet.pass_id, trace_rows,
-                    resolved=_resolved,
+                    packet, self.actions, packet.pass_id,
+                    resolved=_resolved, card=card,
                 )
             if packet.dropped or not packet.recirculate:
                 break
@@ -99,8 +119,18 @@ class SwitchPipeline:
                 break
             # End-of-pipeline recirculation: REC consumed, pass counter bumped.
             packet.pass_id += 1
-        result = PacketResult(packet=packet, passes=passes, trace=trace_rows or [])
+        result = PacketResult(packet=packet, passes=passes)
         result.latency_ns = self.latency_model.latency_ns(passes=passes)
+        if card is not None:
+            card.finish(
+                passes=passes, latency_ns=result.latency_ns,
+                dropped=packet.dropped,
+            )
+            result.postcard = card
+            if trace:
+                result.trace = card.trace_rows()
+            if sampled:
+                collector.record(card)
         return result
 
     def process_batch(self, packets: list[Packet], trace: bool = False) -> list[PacketResult]:

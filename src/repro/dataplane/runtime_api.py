@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.dataplane.pipeline import SwitchPipeline
 from repro.dataplane.table import TableEntry
 from repro.errors import DataPlaneError, ResourceExhaustedError
+from repro.telemetry.spans import Tracer
 
 
 class OpType(enum.Enum):
@@ -53,6 +54,9 @@ class RuntimeAPI:
         self.pipeline = pipeline
         self.writes_total = 0
         self.batches_total = 0
+        #: Optional control-plane tracer: every :meth:`write` batch becomes
+        #: a ``runtime.write`` span (child of the caller's open span).
+        self.tracer: Tracer | None = None
 
     # -- reads ------------------------------------------------------------
     def read_entries(self, table_name: str) -> list[TableEntry]:
@@ -100,7 +104,21 @@ class RuntimeAPI:
         between equal-priority overlapping entries.  The snapshot restore
         rebuilds each touched table (and its lookup index) exactly as it
         was before the batch, resource reservations included.
+
+        With a :attr:`tracer` attached each batch is timed as a
+        ``runtime.write`` span annotated with op and applied counts.
         """
+        if self.tracer is None:
+            return self._write(ops)
+        with self.tracer.span(
+            "runtime.write", switch=self.pipeline.name, ops=len(ops)
+        ) as span:
+            result = self._write(ops)
+            span.set(applied=result.applied, ok=result.ok)
+            return result
+
+    def _write(self, ops: list[WriteOp]) -> WriteResult:
+        """The untraced batch application :meth:`write` wraps."""
         result = WriteResult()
         self.batches_total += 1
         #: table name -> (stage, table, entries snapshot, reservation state),

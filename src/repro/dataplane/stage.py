@@ -62,6 +62,7 @@ class Stage:
         pass_id: int,
         trace: list[tuple[int, int, str, str]] | None = None,
         resolved: dict | None = None,
+        card=None,
     ) -> None:
         """Run the stage's tables against ``packet`` (stops if dropped).
 
@@ -69,11 +70,17 @@ class Stage:
         across a batch (:meth:`SwitchPipeline.process_batch`): registry
         resolution happens once per distinct action instead of once per
         packet per table.
+
+        ``card`` is an optional
+        :class:`~repro.telemetry.postcards.PacketPostcard` under
+        construction: each table application appends one hop (stage, table,
+        hit/miss, matched rule id, action) — the INT-style telemetry hook
+        the pipeline arms for traced or sampled packets.
         """
         for table in self.tables:
             if packet.dropped:
                 return
-            _entry, action_name, params = table.lookup(packet)
+            entry, action_name, params = table.lookup(packet)
             if resolved is None:
                 call = actions.resolve(action_name)
             else:
@@ -84,6 +91,15 @@ class Stage:
             call.fn(packet, params)
             if trace is not None:
                 trace.append((pass_id, self.index, table.name, action_name))
+            if card is not None:
+                card.add_hop(
+                    pass_id,
+                    self.index,
+                    table.name,
+                    action_name,
+                    hit=entry is not None,
+                    rule_id=None if entry is None else table.entry_id(entry),
+                )
 
     def __repr__(self) -> str:
         return (

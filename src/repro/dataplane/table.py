@@ -228,6 +228,15 @@ class MatchActionTable:
         for entry in snapshot:
             self._append(entry)
 
+    def entry_id(self, entry: TableEntry) -> int | None:
+        """The stable per-table rule id of an installed entry: its insert
+        sequence number (oldest copy when installed more than once), the
+        same order the lookup tie-break ranks on.  ``None`` when the entry
+        is not installed — telemetry postcards record this as the matched
+        rule id."""
+        orders = self._orders.get(id(entry))
+        return orders[0] if orders else None
+
     # -- lookup ------------------------------------------------------------
     def lookup(self, packet: Packet) -> tuple[TableEntry | None, str, Mapping[str, object]]:
         """Find the winning entry for ``packet``.

@@ -18,7 +18,6 @@ from repro.baseline.dpdk import DpdkChainModel
 from repro.core.spec import SwitchSpec
 from repro.dataplane.latency import AsicModel
 from repro.dataplane.pipeline import SwitchPipeline
-from repro.dataplane.table import TableEntry
 from repro.dataplane.virtualization import LogicalNF, LogicalSFC, SFCVirtualizer
 from repro.experiments.config import OFFERED_GBPS, PACKET_SIZES
 from repro.experiments.harness import ExperimentResult

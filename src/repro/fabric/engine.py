@@ -13,7 +13,6 @@ per-switch admit-latency histograms) on the orchestrator.
 
 from __future__ import annotations
 
-from time import perf_counter
 from typing import Iterable
 
 from repro.controller.events import ChurnEvent, ChurnReport, EventKind
@@ -43,8 +42,8 @@ class FabricChurnEngine:
     def replay(self, events: Iterable[ChurnEvent]) -> ChurnReport:
         """Apply every event in order and collect the report."""
         report = ChurnReport()
-        start = perf_counter()
-        for event in events:
-            report.results.append((event, self.apply(event)))
-        report.wall_seconds = perf_counter() - start
+        with self.fabric.metrics.timer("replay_wall_s") as timer:
+            for event in events:
+                report.results.append((event, self.apply(event)))
+        report.wall_seconds = timer.elapsed_s
         return report

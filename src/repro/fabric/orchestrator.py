@@ -28,20 +28,21 @@ floats) stays **bit-identical** to a from-scratch recomputation —
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from time import perf_counter
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.controller.admission import AdmissionPolicy
 from repro.controller.controller import OpResult, RuleFactory, SfcController
-from repro.controller.metrics import MetricsRegistry
 from repro.core.spec import SFC, ProblemInstance
 from repro.core.state import LinkState, PipelineState
 from repro.errors import PlacementError
 from repro.fabric.partitioner import ConsistentHashPartitioner, Partitioner
 from repro.fabric.stitching import StitchPlan, plan_stitch
 from repro.fabric.topology import FabricTopology, LinkKey
+from repro.telemetry.metrics import MetricsRegistry, Timer
+from repro.telemetry.recorder import FlightRecorder
+from repro.telemetry.spans import Tracer, maybe_span
 
 
 @dataclass(frozen=True)
@@ -137,11 +138,21 @@ class FabricOrchestrator:
         consolidate: bool = True,
         reserve_physical_block: bool = True,
         rule_factory: RuleFactory | None = None,
+        tracer: Tracer | None = None,
+        recorder: FlightRecorder | None = None,
     ) -> None:
         self.topology = topology
         self.num_types = num_types
         self.partitioner = partitioner or ConsistentHashPartitioner()
         self.with_dataplane = with_dataplane
+        #: Optional control-plane tracer, cascaded into every shard so one
+        #: fabric admit yields one causally linked span tree
+        #: (fabric -> controller -> install -> runtime.write).
+        self.tracer = tracer
+        #: Always-on flight recorder (bounded ring): lifecycle transitions
+        #: land here, and the invariant checker / drain path snap the ring
+        #: automatically on failure.  Pass your own to share it fabric-wide.
+        self.recorder = recorder if recorder is not None else FlightRecorder()
         self.shards: dict[str, SfcController] = {}
         for name in topology.switch_names:
             node = topology.nodes[name]
@@ -159,6 +170,8 @@ class FabricOrchestrator:
                 reserve_physical_block=reserve_physical_block,
                 rule_factory=rule_factory,
                 name=name,
+                tracer=tracer,
+                recorder=self.recorder,
             )
         self.links: dict[LinkKey, LinkState] = {
             key: LinkState(link.capacity_gbps)
@@ -216,7 +229,7 @@ class FabricOrchestrator:
     # Internal helpers
     # ------------------------------------------------------------------
     def _reject(
-        self, tenant_id: int, op: str, reason: str, detail: str, t0: float
+        self, tenant_id: int, op: str, reason: str, detail: str, timer: Timer
     ) -> FabricOpResult:
         self.metrics.inc("rejected")
         self.metrics.inc(f"rejected.{reason}")
@@ -226,7 +239,18 @@ class FabricOrchestrator:
             op=op,
             reason=reason,
             detail=detail,
-            latency_s=perf_counter() - t0,
+            latency_s=timer.elapsed_s,
+        )
+
+    def _record_op(self, result: FabricOpResult) -> None:
+        """Log one fabric lifecycle outcome into the flight recorder."""
+        self.recorder.record_state(
+            f"fabric.{result.op}",
+            tenant=result.tenant_id,
+            ok=result.ok,
+            switches=list(result.switches),
+            stitched=result.stitched,
+            reason=result.reason,
         )
 
     def _refresh_gauges(self) -> None:
@@ -259,7 +283,7 @@ class FabricOrchestrator:
         self.metrics.observe(f"admit_latency_s.{switch}", result.latency_s)
 
     def _commit_stitch(
-        self, sfc: SFC, plan: StitchPlan, op: str, order: list[str], t0: float
+        self, sfc: SFC, plan: StitchPlan, op: str, order: list[str], timer: Timer
     ) -> FabricOpResult | None:
         """Admit both planned segments and charge the link; ``None`` (with
         any partial admit rolled back) if a shard refuses after all —
@@ -305,17 +329,17 @@ class FabricOrchestrator:
             stitched=True,
             spillover=order.index(plan.head_switch),
             rules_added=head_res.rules_added + tail_res.rules_added,
-            latency_s=perf_counter() - t0,
+            latency_s=timer.elapsed_s,
         )
 
-    def _place(self, sfc: SFC, op: str, t0: float) -> FabricOpResult:
+    def _place(self, sfc: SFC, op: str, timer: Timer) -> FabricOpResult:
         """Route one chain: preferred shard first, spillover down the
         partitioner order, cross-switch stitching as the last resort."""
         order = self.partitioner.order(sfc, self)
         if not order:
             return self._reject(
                 sfc.tenant_id, op, "no-active-switch",
-                "every fabric switch is drained", t0,
+                "every fabric switch is drained", timer,
             )
         last: OpResult | None = None
         for rank, name in enumerate(order):
@@ -343,19 +367,19 @@ class FabricOrchestrator:
                     switches=(name,),
                     spillover=rank,
                     rules_added=result.rules_added,
-                    latency_s=perf_counter() - t0,
+                    latency_s=timer.elapsed_s,
                 )
             last = result
         plan = plan_stitch(self, sfc, order)
         if plan is not None:
-            stitched = self._commit_stitch(sfc, plan, op, order, t0)
+            stitched = self._commit_stitch(sfc, plan, op, order, timer)
             if stitched is not None:
                 return stitched
         assert last is not None  # order was non-empty
         return self._reject(
             sfc.tenant_id, op, last.reason or "no-feasible-placement",
             f"no single switch fits and stitching failed; last shard said: "
-            f"{last.detail}", t0,
+            f"{last.detail}", timer,
         )
 
     def _remove(self, tenant_id: int) -> tuple[FabricTenant, int]:
@@ -376,13 +400,24 @@ class FabricOrchestrator:
     # ------------------------------------------------------------------
     def admit(self, sfc: SFC) -> FabricOpResult:
         """Admit one tenant chain somewhere on the fabric."""
-        t0 = perf_counter()
+        with maybe_span(
+            self.tracer, "fabric.admit", tenant=sfc.tenant_id
+        ) as span, self.metrics.timer("op_latency_s.admit") as timer:
+            result = self._admit(sfc, timer)
+            span.set(
+                ok=result.ok, switches=list(result.switches),
+                stitched=result.stitched,
+            )
+        self._record_op(result)
+        return result
+
+    def _admit(self, sfc: SFC, timer: Timer) -> FabricOpResult:
         if sfc.tenant_id in self.tenants:
             return self._reject(
                 sfc.tenant_id, "admit", "duplicate-tenant",
-                f"tenant {sfc.tenant_id} already has a live chain", t0,
+                f"tenant {sfc.tenant_id} already has a live chain", timer,
             )
-        result = self._place(sfc, "admit", t0)
+        result = self._place(sfc, "admit", timer)
         if result.ok:
             self.metrics.inc("admitted")
             self._refresh_gauges()
@@ -390,11 +425,19 @@ class FabricOrchestrator:
 
     def evict(self, tenant_id: int) -> FabricOpResult:
         """Tenant departure: tear down every segment, release links."""
-        t0 = perf_counter()
+        with maybe_span(
+            self.tracer, "fabric.evict", tenant=tenant_id
+        ) as span, self.metrics.timer("op_latency_s.evict") as timer:
+            result = self._evict(tenant_id, timer)
+            span.set(ok=result.ok, switches=list(result.switches))
+        self._record_op(result)
+        return result
+
+    def _evict(self, tenant_id: int, timer: Timer) -> FabricOpResult:
         if tenant_id not in self.tenants:
             return self._reject(
                 tenant_id, "evict", "unknown-tenant",
-                f"tenant {tenant_id} has no live chain", t0,
+                f"tenant {tenant_id} has no live chain", timer,
             )
         record, deleted = self._remove(tenant_id)
         self.metrics.inc("evicted")
@@ -406,7 +449,7 @@ class FabricOrchestrator:
             switches=record.switches,
             stitched=record.stitched,
             rules_deleted=deleted,
-            latency_s=perf_counter() - t0,
+            latency_s=timer.elapsed_s,
         )
 
     def modify(self, tenant_id: int, new_chain: SFC) -> FabricOpResult:
@@ -417,12 +460,22 @@ class FabricOrchestrator:
         fits nowhere, the old chain is restored (its resources were just
         freed, so the same routing re-places it) and the rejection is
         returned."""
-        t0 = perf_counter()
+        with maybe_span(
+            self.tracer, "fabric.modify", tenant=tenant_id
+        ) as span, self.metrics.timer("op_latency_s.modify") as timer:
+            result = self._modify(tenant_id, new_chain, timer)
+            span.set(ok=result.ok, hitless=result.hitless)
+        self._record_op(result)
+        return result
+
+    def _modify(
+        self, tenant_id: int, new_chain: SFC, timer: Timer
+    ) -> FabricOpResult:
         record = self.tenants.get(tenant_id)
         if record is None:
             return self._reject(
                 tenant_id, "modify", "unknown-tenant",
-                f"tenant {tenant_id} has no live chain", t0,
+                f"tenant {tenant_id} has no live chain", timer,
             )
         new_sfc = replace(new_chain, tenant_id=tenant_id)
         if not record.stitched:
@@ -451,10 +504,10 @@ class FabricOrchestrator:
                     hitless=result.hitless,
                     rules_added=result.rules_added,
                     rules_deleted=result.rules_deleted,
-                    latency_s=perf_counter() - t0,
+                    latency_s=timer.elapsed_s,
                 )
         old_record, deleted = self._remove(tenant_id)
-        placed = self._place(new_sfc, "modify", t0)
+        placed = self._place(new_sfc, "modify", timer)
         if placed.ok:
             self.metrics.inc("modified")
             self.metrics.inc("modify_rehomed")
@@ -462,7 +515,7 @@ class FabricOrchestrator:
             placed.hitless = False
             placed.rules_deleted += deleted
             return placed
-        restored = self._place(old_record.sfc, "modify", t0)
+        restored = self._place(old_record.sfc, "modify", timer)
         if not restored.ok:
             # Should be unreachable (the old chain's resources were just
             # freed); counted so a regression cannot hide.
@@ -478,28 +531,41 @@ class FabricOrchestrator:
         re-home every tenant with a segment on it through the normal admit
         path on the surviving shards.  Tenants that fit nowhere else are
         evicted.  Afterwards the drained shard hosts zero tenants and zero
-        tenant rules."""
+        tenant rules.  Tenants that could not be re-homed snap the flight
+        recorder, preserving the event window that led to each eviction."""
         if switch not in self.shards:
             raise PlacementError(f"unknown switch {switch!r}")
-        self.drained.add(switch)
-        affected = sorted(
-            tenant_id
-            for tenant_id, record in self.tenants.items()
-            if switch in record.switches
+        with maybe_span(
+            self.tracer, "fabric.drain", switch=switch
+        ) as span, self.metrics.timer("op_latency_s.drain"):
+            self.drained.add(switch)
+            affected = sorted(
+                tenant_id
+                for tenant_id, record in self.tenants.items()
+                if switch in record.switches
+            )
+            rehomed: list[int] = []
+            evicted: list[int] = []
+            for tenant_id in affected:
+                record, _deleted = self._remove(tenant_id)
+                placed = self._place(record.sfc, "drain", Timer())
+                if placed.ok:
+                    rehomed.append(tenant_id)
+                else:
+                    evicted.append(tenant_id)
+            self.metrics.inc("drains")
+            self.metrics.inc("drain.rehomed", len(rehomed))
+            self.metrics.inc("drain.evicted", len(evicted))
+            self._refresh_gauges()
+            span.set(rehomed=len(rehomed), evicted=len(evicted))
+        self.recorder.record_state(
+            "fabric.drain", switch=switch,
+            rehomed=list(rehomed), evicted=list(evicted),
         )
-        rehomed: list[int] = []
-        evicted: list[int] = []
-        for tenant_id in affected:
-            record, _deleted = self._remove(tenant_id)
-            placed = self._place(record.sfc, "drain", perf_counter())
-            if placed.ok:
-                rehomed.append(tenant_id)
-            else:
-                evicted.append(tenant_id)
-        self.metrics.inc("drains")
-        self.metrics.inc("drain.rehomed", len(rehomed))
-        self.metrics.inc("drain.evicted", len(evicted))
-        self._refresh_gauges()
+        if evicted:
+            self.recorder.snap(
+                "drain-evicted-tenants", switch=switch, evicted=list(evicted)
+            )
         return DrainReport(
             switch=switch, rehomed=tuple(rehomed), evicted=tuple(evicted)
         )
@@ -552,7 +618,9 @@ class FabricOrchestrator:
         shard's surviving tenants.  Per link: the incremental load must
         equal the sorted-tenant-order sum over the directory.  Plus
         directory/shard cross-consistency and empty drained shards.
-        Returns human-readable problem strings (empty = invariant holds).
+        Returns human-readable problem strings (empty = invariant holds);
+        any problem snaps the flight recorder so the run-up to the drift is
+        preserved alongside the findings.
         """
         problems: list[str] = []
         for name in self.topology.switch_names:
@@ -608,4 +676,6 @@ class FabricOrchestrator:
             shard = self.shards[name]
             if shard.tenants or shard.state.entries.sum() != 0:
                 problems.append(f"{name}: drained but not empty")
+        if problems:
+            self.recorder.snap("fabric-invariant-violated", problems=problems)
         return problems

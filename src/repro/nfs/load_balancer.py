@@ -10,7 +10,6 @@ backend choice.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.dataplane.table import MatchField, MatchKind, TableEntry
 from repro.nfs.base import NFDefinition

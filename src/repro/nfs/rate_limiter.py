@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.dataplane.table import MatchField, MatchKind, TableEntry
 from repro.nfs.base import NFDefinition

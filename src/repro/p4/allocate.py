@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import networkx as nx
 
 from repro.errors import ResourceExhaustedError
 from repro.p4.dependency import build_dependency_graph

@@ -1,0 +1,82 @@
+"""Prometheus text-format rendering of metrics snapshots.
+
+:func:`render_prometheus` turns a
+:class:`~repro.telemetry.metrics.MetricsRegistry` (or its ``snapshot()``
+dict) into the Prometheus exposition text format, the lingua franca every
+scraper understands:
+
+* counters -> ``<ns>_<name>_total`` with ``# TYPE ... counter``;
+* gauges   -> ``<ns>_<name>`` with ``# TYPE ... gauge``;
+* histograms -> cumulative ``_bucket{le="..."}`` rows (the registry stores
+  per-bucket counts; Prometheus buckets are cumulative, so this accumulates
+  and closes with ``le="+Inf"``), plus ``_sum`` and ``_count``.
+
+Dotted metric names (``rejected.no-feasible-placement``,
+``admit_latency_s.sw0``) sanitize to underscores — the registry's naming
+convention stays the source of truth and the rendering stays dependency-
+free.  Output is deterministic: names sort exactly as in
+``MetricsRegistry.snapshot``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.metrics import MetricsRegistry
+
+#: Characters legal in a Prometheus metric name (after the first char).
+_LEGAL = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted registry name onto the Prometheus name grammar
+    (``[a-zA-Z_:][a-zA-Z0-9_:]*``): illegal characters become ``_`` and a
+    leading digit gets a ``_`` prefix."""
+    out = "".join(c if c in _LEGAL else "_" for c in name)
+    if not out:
+        return "_"
+    if out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    if isinstance(value, bool):  # pragma: no cover — registries store numbers
+        return "1" if value else "0"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    metrics: "MetricsRegistry | dict", namespace: str = "sfp"
+) -> str:
+    """The full exposition page for one registry (or snapshot dict)."""
+    snapshot = metrics if isinstance(metrics, dict) else metrics.snapshot()
+    prefix = sanitize_metric_name(namespace)
+    lines: list[str] = []
+
+    for name, value in snapshot.get("counters", {}).items():
+        metric = f"{prefix}_{sanitize_metric_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in hist["buckets"]:
+            cumulative += count
+            le = "+Inf" if bound is None else _fmt(float(bound))
+            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{metric}_sum {_fmt(hist['sum'])}")
+        lines.append(f"{metric}_count {_fmt(hist['count'])}")
+
+    return "\n".join(lines) + ("\n" if lines else "")

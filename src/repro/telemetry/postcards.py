@@ -1,0 +1,248 @@
+"""INT-style per-packet postcards: sampled per-hop dataplane telemetry.
+
+In-band Network Telemetry on real programmable switches stamps per-hop
+metadata into packets (or mirrors "postcards" to a collector) so operators
+can see *where* a packet actually went.  The functional pipeline mirrors
+that: when a packet is sampled — or explicitly traced — every table
+application appends a :class:`PostcardHop` (recirculation pass, stage,
+table, hit/miss, matched rule id, action, modeled latency contribution) to
+a :class:`PacketPostcard` carried alongside the packet and attached to its
+:class:`~repro.dataplane.packet.PacketResult`.
+
+Sampling is owned by a :class:`PostcardCollector` hung on
+``SwitchPipeline.telemetry``: deterministic 1-in-N count-based sampling
+(no RNG, so runs stay reproducible), a bounded ring of recent postcards,
+and per-switch / per-tenant counters that :meth:`PostcardCollector.publish`
+folds into a :class:`~repro.telemetry.metrics.MetricsRegistry` for the
+Prometheus exporter.  ``sample_every=0`` arms the hook without ever
+sampling — the "telemetry off" configuration whose cost
+``benchmarks/bench_telemetry_overhead.py`` bounds below 1%.
+
+This module deliberately imports nothing from the dataplane, so the
+pipeline can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.recorder import FlightRecorder
+
+
+@dataclass(frozen=True)
+class PostcardHop:
+    """One table application observed by a sampled/traced packet."""
+
+    #: Recirculation pass (1-based, the ``pass_id`` the rule matched on).
+    pass_id: int
+    #: Physical stage (MAU) index.
+    stage: int
+    #: Table name (e.g. ``firewall@s0`` or ``tenant_map@s0``).
+    table: str
+    #: Action that fired (the table's default on a miss).
+    action: str
+    #: True when an installed entry matched; False = default action.
+    hit: bool
+    #: The matched entry's per-table insertion sequence (stable for the
+    #: entry's lifetime); ``None`` on a miss.
+    rule_id: int | None
+    #: Modeled latency contribution (ns): the stage traversal cost,
+    #: attributed to the first table applied in each (pass, stage).
+    latency_ns: float
+
+    def describe(self) -> str:
+        """One human-readable line (the ``sfp trace`` output format)."""
+        outcome = f"hit rule#{self.rule_id}" if self.hit else "miss"
+        return (
+            f"pass {self.pass_id} stage {self.stage}: {self.table} "
+            f"-> {self.action} ({outcome}, +{self.latency_ns:.1f}ns)"
+        )
+
+
+@dataclass
+class PacketPostcard:
+    """The accumulated per-hop record of one packet's pipeline walk."""
+
+    #: Which pipeline produced this card (the fabric shares one collector
+    #: across shards and distinguishes them by this name).
+    switch: str
+    tenant_id: int
+    #: Per-stage traversal cost used for hop latency attribution.
+    stage_ns: float = 0.0
+    hops: list[PostcardHop] = field(default_factory=list)
+    #: Total pipeline traversals (1 = no recirculation); set by ``finish``.
+    passes: int = 1
+    dropped: bool = False
+    #: End-to-end modeled latency from the ASIC model; set by ``finish``.
+    latency_ns: float = 0.0
+
+    def add_hop(
+        self,
+        pass_id: int,
+        stage: int,
+        table: str,
+        action: str,
+        hit: bool,
+        rule_id: int | None,
+    ) -> None:
+        """Record one table application.  The stage traversal cost is
+        attributed to the first hop in each (pass, stage); further tables
+        in the same stage contribute 0 (an MAU is one clocked traversal
+        regardless of how many resident tables looked at the packet)."""
+        last = self.hops[-1] if self.hops else None
+        first_in_stage = (
+            last is None or (last.pass_id, last.stage) != (pass_id, stage)
+        )
+        self.hops.append(
+            PostcardHop(
+                pass_id=pass_id,
+                stage=stage,
+                table=table,
+                action=action,
+                hit=hit,
+                rule_id=rule_id,
+                latency_ns=self.stage_ns if first_in_stage else 0.0,
+            )
+        )
+
+    def finish(self, passes: int, latency_ns: float, dropped: bool) -> None:
+        """Seal the card with the packet's end-of-pipeline facts."""
+        self.passes = passes
+        self.latency_ns = latency_ns
+        self.dropped = dropped
+
+    # ------------------------------------------------------------------
+    @property
+    def recirculations(self) -> int:
+        """Extra traversals beyond the first."""
+        return self.passes - 1
+
+    def hops_for_pass(self, pass_id: int) -> list[PostcardHop]:
+        """The hops recorded during recirculation pass ``pass_id``."""
+        return [h for h in self.hops if h.pass_id == pass_id]
+
+    def trace_rows(self) -> list[tuple[int, int, str, str]]:
+        """The legacy ``(pass, stage, table, action)`` trace rows —
+        ``process(trace=True)`` derives its result's ``trace`` from this,
+        making the old flag a thin wrapper over postcards."""
+        return [(h.pass_id, h.stage, h.table, h.action) for h in self.hops]
+
+    def to_dict(self) -> dict:
+        """JSON-native form (flight-recorder entries, ``sfp trace``)."""
+        return {
+            "switch": self.switch,
+            "tenant_id": self.tenant_id,
+            "passes": self.passes,
+            "dropped": self.dropped,
+            "latency_ns": self.latency_ns,
+            "hops": [
+                {
+                    "pass": h.pass_id,
+                    "stage": h.stage,
+                    "table": h.table,
+                    "action": h.action,
+                    "hit": h.hit,
+                    "rule_id": h.rule_id,
+                    "latency_ns": h.latency_ns,
+                }
+                for h in self.hops
+            ],
+        }
+
+    def describe(self) -> str:
+        """Multi-line human-readable card (the ``sfp trace`` output)."""
+        head = (
+            f"postcard tenant={self.tenant_id} switch={self.switch} "
+            f"passes={self.passes} dropped={self.dropped} "
+            f"latency={self.latency_ns:.0f}ns"
+        )
+        return "\n".join([head] + [f"  {h.describe()}" for h in self.hops])
+
+
+class PostcardCollector:
+    """Deterministic 1-in-N postcard sampling with bounded retention.
+
+    Attach to ``SwitchPipeline.telemetry`` (one collector may serve many
+    pipelines — the fabric shares one across its shards).  Sampling is
+    count-based: every ``sample_every``-th packet seen across all attached
+    pipelines is sampled; ``sample_every=1`` samples everything and
+    ``sample_every=0`` disarms sampling while keeping the hook wired (the
+    measured-to-be-free "off" configuration).
+    """
+
+    def __init__(
+        self,
+        sample_every: int = 64,
+        capacity: int = 256,
+        recorder: "FlightRecorder | None" = None,
+    ) -> None:
+        if sample_every < 0:
+            raise ValueError("sample_every must be >= 0 (0 = never sample)")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sample_every = sample_every
+        #: Recent postcards, oldest evicted first.
+        self.cards: deque[PacketPostcard] = deque(maxlen=capacity)
+        self.recorder = recorder
+        # -- counters ---------------------------------------------------
+        self.packets_seen = 0
+        self.postcards_sampled = 0
+        self.recirculations_observed = 0
+        self.drops_observed = 0
+        self.by_switch: dict[str, int] = {}
+        self.by_tenant: dict[int, int] = {}
+
+    def should_sample(self) -> bool:
+        """Advance the packet counter; True on every N-th packet."""
+        self.packets_seen += 1
+        return self.sample_every > 0 and self.packets_seen % self.sample_every == 0
+
+    def record(self, card: PacketPostcard) -> None:
+        """Retain one finished postcard and update the counters."""
+        self.postcards_sampled += 1
+        self.recirculations_observed += card.recirculations
+        if card.dropped:
+            self.drops_observed += 1
+        self.by_switch[card.switch] = self.by_switch.get(card.switch, 0) + 1
+        self.by_tenant[card.tenant_id] = self.by_tenant.get(card.tenant_id, 0) + 1
+        self.cards.append(card)
+        if self.recorder is not None:
+            self.recorder.add("postcard", card.to_dict())
+
+    def publish(
+        self, registry: "MetricsRegistry", prefix: str = "telemetry"
+    ) -> None:
+        """Fold the collector's counters into ``registry`` as gauges (the
+        collector is the source of truth; publishing is idempotent), under
+        ``<prefix>.*`` with per-switch / per-tenant dotted suffixes."""
+        registry.gauge(f"{prefix}.packets_seen").set(self.packets_seen)
+        registry.gauge(f"{prefix}.postcards_sampled").set(self.postcards_sampled)
+        registry.gauge(f"{prefix}.recirculations_observed").set(
+            self.recirculations_observed
+        )
+        registry.gauge(f"{prefix}.drops_observed").set(self.drops_observed)
+        for switch in sorted(self.by_switch):
+            registry.gauge(f"{prefix}.postcards_sampled.{switch}").set(
+                self.by_switch[switch]
+            )
+        for tenant in sorted(self.by_tenant):
+            registry.gauge(f"{prefix}.postcards_sampled.tenant.{tenant}").set(
+                self.by_tenant[tenant]
+            )
+
+    def snapshot(self) -> dict:
+        """JSON-native counter snapshot (``sfp trace`` prints this)."""
+        return {
+            "packets_seen": self.packets_seen,
+            "postcards_sampled": self.postcards_sampled,
+            "recirculations_observed": self.recirculations_observed,
+            "drops_observed": self.drops_observed,
+            "by_switch": dict(sorted(self.by_switch.items())),
+            "by_tenant": {
+                str(t): n for t, n in sorted(self.by_tenant.items())
+            },
+        }

@@ -1,0 +1,92 @@
+"""The flight recorder: a bounded ring of recent telemetry for post-mortems.
+
+Production switch fleets keep a short in-memory history of "what just
+happened" — recent spans, sampled postcards, state transitions — precisely
+so the moment something trips (an invariant audit fails, a drain strands
+tenants) there is context to dump without having had verbose logging on.
+:class:`FlightRecorder` is that ring: every attached producer
+(:class:`~repro.telemetry.spans.Tracer`,
+:class:`~repro.telemetry.postcards.PostcardCollector`, and the control
+plane's own state-transition events) appends JSON-native entries, old
+entries fall off the back, and :meth:`dump` freezes the tail into one
+plain dict.
+
+The fabric wires it in automatically: ``FabricOrchestrator.check_invariant``
+snaps a dump when any invariant drifts, and ``drain`` snaps one when a
+tenant could not be re-homed.  Snapped dumps are retained (bounded) on
+:attr:`dumps` and can be written to disk with :meth:`dump_to`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from time import monotonic_ns
+
+
+class FlightRecorder:
+    """A bounded ring buffer of telemetry events with snap-on-failure."""
+
+    def __init__(self, capacity: int = 512, max_dumps: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if max_dumps < 1:
+            raise ValueError("max_dumps must be >= 1")
+        #: Recent events (oldest evicted first); each is a plain dict.
+        self.events: deque[dict] = deque(maxlen=capacity)
+        #: Dumps snapped by failures (oldest evicted first).
+        self.dumps: deque[dict] = deque(maxlen=max_dumps)
+        self.events_recorded = 0
+        self.dumps_snapped = 0
+        self._seq = 0
+
+    def add(self, kind: str, data: dict) -> None:
+        """Append one event.  ``kind`` is a short tag (``"span"``,
+        ``"postcard"``, ``"state"``); ``data`` must be JSON-native."""
+        self._seq += 1
+        self.events_recorded += 1
+        self.events.append(
+            {
+                "seq": self._seq,
+                "monotonic_ns": monotonic_ns(),
+                "kind": kind,
+                "data": data,
+            }
+        )
+
+    def record_state(self, event: str, **fields: object) -> None:
+        """Shorthand for a state-transition event (admit/evict/drain/...)."""
+        self.add("state", {"event": event, **fields})
+
+    # ------------------------------------------------------------------
+    def dump(self, reason: str = "manual", **context: object) -> dict:
+        """Freeze the current ring tail into one JSON-native dict (oldest
+        event first), without retaining it."""
+        return {
+            "reason": reason,
+            "context": dict(context),
+            "events_recorded": self.events_recorded,
+            "events": [dict(e) for e in self.events],
+        }
+
+    def snap(self, reason: str, **context: object) -> dict:
+        """Like :meth:`dump` but retains the dump on :attr:`dumps` — what
+        the fabric's failure paths call so post-mortems survive the
+        moment."""
+        snapped = self.dump(reason, **context)
+        self.dumps.append(snapped)
+        self.dumps_snapped += 1
+        return snapped
+
+    def dump_to(self, path: str | Path, reason: str = "manual",
+                **context: object) -> Path:
+        """Write :meth:`dump` as pretty JSON to ``path``; returns it."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            json.dump(self.dump(reason, **context), fh, indent=2)
+            fh.write("\n")
+        return path
+
+    def __len__(self) -> int:
+        return len(self.events)

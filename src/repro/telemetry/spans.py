@@ -1,0 +1,293 @@
+"""Zero-dependency trace spans for the control plane.
+
+A :class:`Tracer` hands out :class:`Span` context managers with monotonic
+``perf_counter_ns`` clocks and automatic parent/child linkage through a
+current-span stack (the control plane is single-threaded per event, so a
+stack is the whole story).  One ``FabricOrchestrator.admit`` with a tracer
+attached therefore yields one *connected* tree::
+
+    fabric.admit
+      controller.admit
+        controller.admission
+        controller.placement
+        install.install
+          runtime.write      (phase 1: rules)
+          runtime.write      (phase 2: attach)
+
+Finished spans are kept in a bounded ring and exportable two ways:
+:meth:`Tracer.export_jsonl` (one JSON object per span, per line) and
+:meth:`Tracer.to_chrome_trace` (the Chrome ``trace_event`` format —
+load the file at ``chrome://tracing`` or https://ui.perfetto.dev).
+
+Span IDs are small monotonically increasing integers, so exports are
+deterministic given deterministic control flow (timestamps aside).
+Components take an *optional* tracer; :func:`maybe_span` returns a shared
+no-op span when it is ``None``, keeping the disabled cost to one branch.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from time import perf_counter_ns
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.recorder import FlightRecorder
+
+
+class Span:
+    """One timed operation, linked to its parent; a context manager.
+
+    Entering starts nothing (the clock starts at creation, inside
+    :meth:`Tracer.span`); exiting stops the clock, pops the tracer's
+    stack, and files the span as finished.  ``set(**attrs)`` annotates.
+    """
+
+    __slots__ = (
+        "name", "span_id", "trace_id", "parent_id",
+        "start_ns", "end_ns", "attrs", "status", "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        trace_id: int,
+        parent_id: int | None,
+        start_ns: int,
+        tracer: "Tracer",
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.start_ns = start_ns
+        self.end_ns: int | None = None
+        self.attrs: dict = {}
+        self.status = "ok"
+        self._tracer = tracer
+
+    # -- context manager ---------------------------------------------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        if exc_type is not None:
+            self.status = "error"
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self)
+        return False
+
+    # -- annotation --------------------------------------------------------
+    def set(self, **attrs: object) -> "Span":
+        """Attach key/value annotations (JSON-native values, please)."""
+        self.attrs.update(attrs)
+        return self
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def duration_ns(self) -> int:
+        """Wall time in ns (0 while still open)."""
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_s(self) -> float:
+        """Wall time in seconds (0.0 while still open)."""
+        return self.duration_ns / 1e9
+
+    def to_dict(self) -> dict:
+        """JSON-native form (one JSONL record)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"trace={self.trace_id}, parent={self.parent_id}, "
+            f"dur={self.duration_ns}ns)"
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing span :func:`maybe_span` returns when tracing
+    is off: supports the same ``with``/``set`` surface at near-zero cost."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        return False
+
+    def set(self, **_attrs: object) -> "_NullSpan":
+        """No-op annotation."""
+        return self
+
+
+#: The singleton no-op span (one allocation for the whole process).
+NULL_SPAN = _NullSpan()
+
+
+def maybe_span(tracer: "Tracer | None", name: str, **attrs: object):
+    """``tracer.span(name, **attrs)`` when tracing is on, else the shared
+    :data:`NULL_SPAN` — the one-branch idiom every instrumented call site
+    uses so disabled telemetry stays effectively free."""
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+class Tracer:
+    """Hands out spans, maintains the parent stack, retains the finished.
+
+    ``metrics`` (optional) receives a ``span_latency_s.<name>`` histogram
+    observation per finished span; ``recorder`` (optional) receives each
+    finished span as a flight-recorder event.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        metrics: "MetricsRegistry | None" = None,
+        recorder: "FlightRecorder | None" = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        #: Finished spans, oldest evicted first.
+        self.finished: deque[Span] = deque(maxlen=capacity)
+        self.metrics = metrics
+        self.recorder = recorder
+        self.spans_started = 0
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._next_trace = 1
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: object) -> Span:
+        """Open a child of the current span (or a new root trace)."""
+        parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            trace_id = self._next_trace
+            self._next_trace += 1
+        else:
+            trace_id = parent.trace_id
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            trace_id=trace_id,
+            parent_id=None if parent is None else parent.span_id,
+            start_ns=perf_counter_ns(),
+            tracer=self,
+        )
+        self._next_id += 1
+        self.spans_started += 1
+        if attrs:
+            span.attrs.update(attrs)
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.end_ns = perf_counter_ns()
+        # Tolerate out-of-order exits defensively: pop through the span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        self.finished.append(span)
+        if self.metrics is not None:
+            self.metrics.observe(f"span_latency_s.{span.name}", span.duration_s)
+        if self.recorder is not None:
+            self.recorder.add("span", span.to_dict())
+
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def clear(self) -> None:
+        """Drop retained spans (open spans are unaffected)."""
+        self.finished.clear()
+
+    # ------------------------------------------------------------------
+    # Views & exports
+    # ------------------------------------------------------------------
+    def traces(self) -> dict[int, list[Span]]:
+        """Finished spans grouped by trace id, in finish order."""
+        grouped: dict[int, list[Span]] = {}
+        for span in self.finished:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def children(self, span: Span) -> list[Span]:
+        """Finished direct children of ``span``, in start order."""
+        kids = [s for s in self.finished if s.parent_id == span.span_id]
+        kids.sort(key=lambda s: s.start_ns)
+        return kids
+
+    def roots(self, trace_id: int | None = None) -> list[Span]:
+        """Finished root spans (optionally of one trace), in start order."""
+        out = [
+            s
+            for s in self.finished
+            if s.parent_id is None
+            and (trace_id is None or s.trace_id == trace_id)
+        ]
+        out.sort(key=lambda s: s.start_ns)
+        return out
+
+    def render_tree(self, root: Span, indent: int = 0) -> str:
+        """An ASCII tree of ``root`` and its finished descendants."""
+        pad = "  " * indent
+        attrs = ""
+        if root.attrs:
+            attrs = " " + " ".join(
+                f"{k}={v}" for k, v in sorted(root.attrs.items())
+            )
+        lines = [
+            f"{pad}{root.name} {root.duration_ns / 1e6:.3f}ms"
+            f" [{root.status}]{attrs}"
+        ]
+        for child in self.children(root):
+            lines.append(self.render_tree(child, indent + 1))
+        return "\n".join(lines)
+
+    def export_jsonl(self) -> str:
+        """Finished spans as JSON Lines (one span per line, finish order)."""
+        return "\n".join(json.dumps(s.to_dict()) for s in self.finished)
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Finished spans as Chrome ``trace_event`` complete ("X") events.
+
+        ``pid`` carries the trace id so each request renders as its own
+        process row; timestamps/durations are microseconds per the format.
+        Serialize with ``json.dumps`` and open at ``chrome://tracing``.
+        """
+        return [
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": span.start_ns / 1e3,
+                "dur": span.duration_ns / 1e3,
+                "pid": span.trace_id,
+                "tid": 1,
+                "args": {
+                    **{k: str(v) for k, v in span.attrs.items()},
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "status": span.status,
+                },
+            }
+            for span in self.finished
+        ]

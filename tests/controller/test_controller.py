@@ -7,10 +7,10 @@ import pytest
 
 from repro.controller import AdmissionPolicy, SfcController
 from repro.core.greedy import greedy_place
-from repro.core.spec import SFC, ProblemInstance, SwitchSpec
+from repro.core.spec import ProblemInstance, SwitchSpec
 from repro.core.state import PipelineState
 from repro.core.verify import check_placement
-from repro.traffic.workload import WorkloadConfig, make_instance, make_sfcs
+from repro.traffic.workload import WorkloadConfig, make_sfcs
 
 from tests.controller.conftest import chain
 

@@ -9,7 +9,7 @@ from repro.core.extensions import (
 )
 from repro.core.greedy import greedy_place
 from repro.core.ilp import solve_ilp
-from repro.core.spec import SFC, ProblemInstance, SwitchSpec
+from repro.core.spec import SFC, ProblemInstance
 from repro.core.verify import check_placement
 from repro.errors import PlacementError
 

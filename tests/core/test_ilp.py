@@ -1,6 +1,5 @@
 """Tests for the joint placement MILP builder and solver."""
 
-import numpy as np
 import pytest
 
 from repro.core.ilp import build_placement_model, solve_ilp

@@ -1,7 +1,6 @@
 """Tests for the independent placement feasibility oracle."""
 
 import numpy as np
-import pytest
 
 from repro.core.placement import NFAssignment, Placement
 from repro.core.verify import check_placement

@@ -1,6 +1,5 @@
 """Tests for the experiment harness plumbing."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.harness import ExperimentResult, mean_over_trials, run_trials

@@ -1,7 +1,6 @@
 """Tests for the EXPERIMENTS.md generator (structure only; the heavy quick
 run is exercised by regenerating the real report)."""
 
-import numpy as np
 
 from repro.experiments import fig4_throughput
 from repro.experiments.report import FigureReport, _fig4, _fig5, _markdown_table

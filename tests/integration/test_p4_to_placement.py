@@ -6,7 +6,6 @@ the placement problem must treat it as 2 sub-NFs — and the resulting
 placements must keep each sub-NF pair on consecutive virtual stages.
 """
 
-import pytest
 
 from repro.core.extensions import collapse_assignment, expand_multi_stage_nfs
 from repro.core.ilp import solve_ilp

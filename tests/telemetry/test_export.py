@@ -1,0 +1,56 @@
+"""Prometheus text-format exporter: name sanitization, type lines, and
+cumulative histogram buckets."""
+
+from repro.telemetry.export import render_prometheus, sanitize_metric_name
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def test_sanitize_metric_name():
+    assert sanitize_metric_name("admit_latency_s.sw0") == "admit_latency_s_sw0"
+    assert sanitize_metric_name("rejected.no-feasible") == "rejected_no_feasible"
+    assert sanitize_metric_name("9lives") == "_9lives"
+    assert sanitize_metric_name("") == "_"
+    assert sanitize_metric_name("ok:name_1") == "ok:name_1"
+
+
+def test_counters_and_gauges_render():
+    registry = MetricsRegistry()
+    registry.inc("admitted", 3)
+    registry.gauge("backplane_gbps").set(12.5)
+    text = render_prometheus(registry)
+    assert "# TYPE sfp_admitted_total counter\nsfp_admitted_total 3\n" in text
+    assert "# TYPE sfp_backplane_gbps gauge\nsfp_backplane_gbps 12.5\n" in text
+
+
+def test_histogram_buckets_are_cumulative_and_close_with_inf():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=(1.0, 2.0))
+    for value in (0.5, 1.5, 1.7, 99.0):
+        hist.observe(value)
+    text = render_prometheus(registry)
+    assert '# TYPE sfp_lat histogram' in text
+    assert 'sfp_lat_bucket{le="1"} 1' in text
+    assert 'sfp_lat_bucket{le="2"} 3' in text
+    assert 'sfp_lat_bucket{le="+Inf"} 4' in text
+    assert "sfp_lat_count 4" in text
+    assert "sfp_lat_sum 102.7" in text
+
+
+def test_accepts_a_snapshot_dict_and_custom_namespace():
+    registry = MetricsRegistry()
+    registry.inc("x")
+    text = render_prometheus(registry.snapshot(), namespace="my.ns")
+    assert text.startswith("# TYPE my_ns_x_total counter")
+
+
+def test_empty_registry_renders_empty_page():
+    assert render_prometheus(MetricsRegistry()) == ""
+
+
+def test_output_is_deterministic_and_name_sorted():
+    registry = MetricsRegistry()
+    registry.inc("b")
+    registry.inc("a")
+    text = render_prometheus(registry)
+    assert text.index("sfp_a_total") < text.index("sfp_b_total")
+    assert render_prometheus(registry) == text

@@ -1,0 +1,146 @@
+"""Postcards: hop capture, sampling determinism, and the legacy-trace
+equivalence that makes ``process(trace=True)`` a thin wrapper."""
+
+import pytest
+
+from repro.dataplane.packet import Packet
+from repro.experiments.fig4_throughput import build_demo_pipeline
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.postcards import PacketPostcard, PostcardCollector
+from repro.traffic.flows import FlowGenerator
+
+
+def make_batch(num_packets: int, seed: int = 1) -> list[Packet]:
+    gen = FlowGenerator(seed)
+    flows = gen.flows(16, tenant_id=1)
+    return gen.packets(flows, num_packets, size_bytes=64)
+
+
+# ----------------------------------------------------------------------
+# PacketPostcard unit behaviour
+# ----------------------------------------------------------------------
+def test_postcard_latency_attributed_to_first_hop_per_stage():
+    card = PacketPostcard(switch="sw0", tenant_id=1, stage_ns=25.0)
+    card.add_hop(1, 0, "tenant_map@s0", "set_tenant", hit=True, rule_id=0)
+    card.add_hop(1, 0, "firewall@s0", "permit", hit=True, rule_id=3)
+    card.add_hop(1, 1, "lb@s1", "no_op", hit=False, rule_id=None)
+    card.add_hop(2, 0, "firewall@s0", "permit", hit=True, rule_id=4)
+    assert [h.latency_ns for h in card.hops] == [25.0, 0.0, 25.0, 25.0]
+
+
+def test_postcard_views_and_serialization():
+    card = PacketPostcard(switch="sw0", tenant_id=7, stage_ns=10.0)
+    card.add_hop(1, 0, "a@s0", "permit", hit=True, rule_id=2)
+    card.add_hop(2, 1, "b@s1", "no_op", hit=False, rule_id=None)
+    card.finish(passes=2, latency_ns=123.0, dropped=False)
+    assert card.recirculations == 1
+    assert [h.table for h in card.hops_for_pass(2)] == ["b@s1"]
+    assert card.trace_rows() == [(1, 0, "a@s0", "permit"), (2, 1, "b@s1", "no_op")]
+    d = card.to_dict()
+    assert d["tenant_id"] == 7 and d["passes"] == 2
+    assert d["hops"][0] == {
+        "pass": 1, "stage": 0, "table": "a@s0", "action": "permit",
+        "hit": True, "rule_id": 2, "latency_ns": 10.0,
+    }
+    assert "hit rule#2" in card.describe()
+    assert "miss" in card.describe()
+
+
+# ----------------------------------------------------------------------
+# Collector sampling semantics
+# ----------------------------------------------------------------------
+def test_collector_counts_every_nth_packet_deterministically():
+    collector = PostcardCollector(sample_every=4)
+    picks = [collector.should_sample() for _ in range(12)]
+    assert picks == [False, False, False, True] * 3
+    assert collector.packets_seen == 12
+
+
+def test_collector_zero_means_armed_but_never_samples():
+    collector = PostcardCollector(sample_every=0)
+    assert not any(collector.should_sample() for _ in range(100))
+    assert collector.packets_seen == 100
+    assert collector.postcards_sampled == 0
+
+
+def test_collector_validates_arguments():
+    with pytest.raises(ValueError):
+        PostcardCollector(sample_every=-1)
+    with pytest.raises(ValueError):
+        PostcardCollector(capacity=0)
+
+
+def test_collector_ring_is_bounded_and_counters_accumulate():
+    collector = PostcardCollector(sample_every=1, capacity=3)
+    for i in range(5):
+        card = PacketPostcard(switch="sw0", tenant_id=i % 2)
+        card.finish(passes=2, latency_ns=1.0, dropped=(i == 4))
+        collector.record(card)
+    assert len(collector.cards) == 3
+    assert collector.postcards_sampled == 5
+    assert collector.recirculations_observed == 5
+    assert collector.drops_observed == 1
+    assert collector.by_switch == {"sw0": 5}
+    assert collector.by_tenant == {0: 3, 1: 2}
+    snap = collector.snapshot()
+    assert snap["by_tenant"] == {"0": 3, "1": 2}
+
+
+def test_collector_publish_exports_gauges():
+    collector = PostcardCollector(sample_every=1)
+    card = PacketPostcard(switch="swX", tenant_id=9)
+    card.finish(passes=1, latency_ns=0.0, dropped=False)
+    collector.should_sample()
+    collector.record(card)
+    registry = MetricsRegistry()
+    collector.publish(registry)
+    snap = registry.snapshot()["gauges"]
+    assert snap["telemetry.packets_seen"] == 1
+    assert snap["telemetry.postcards_sampled.swX"] == 1
+    assert snap["telemetry.postcards_sampled.tenant.9"] == 1
+
+
+# ----------------------------------------------------------------------
+# Pipeline integration: trace=True is a thin wrapper over postcards
+# ----------------------------------------------------------------------
+def test_traced_result_trace_equals_postcard_rows():
+    pipeline, _ = build_demo_pipeline(seed=3)
+    for result in pipeline.process_batch(make_batch(32, seed=3), trace=True):
+        assert result.postcard is not None
+        assert result.trace == result.postcard.trace_rows()
+        assert result.postcard.passes == result.passes
+        assert result.postcard.latency_ns == result.latency_ns
+
+
+def test_sampled_postcards_match_traced_run_on_seeded_batches():
+    """Same seeded batch through two fresh pipelines: every sampled
+    postcard must agree hop-for-hop with the traced oracle run."""
+    traced_pipeline, _ = build_demo_pipeline(seed=5)
+    traced = traced_pipeline.process_batch(make_batch(64, seed=5), trace=True)
+
+    sampled_pipeline, _ = build_demo_pipeline(seed=5)
+    collector = PostcardCollector(sample_every=4)
+    sampled_pipeline.telemetry = collector
+    results = sampled_pipeline.process_batch(make_batch(64, seed=5))
+
+    sampled_indices = [i for i, r in enumerate(results) if r.postcard]
+    assert sampled_indices == list(range(3, 64, 4))
+    for i in sampled_indices:
+        assert results[i].postcard.trace_rows() == traced[i].trace
+        assert results[i].postcard.passes == traced[i].passes
+    # Untraced, unsampled results keep the legacy empty trace.
+    assert all(
+        not results[i].trace for i in range(64) if i not in sampled_indices
+    )
+    assert collector.postcards_sampled == len(sampled_indices)
+
+
+def test_trace_true_does_not_consume_sampling_budget_cards():
+    """A traced packet is recorded by the sampler only when the sampler
+    itself picked it, so forced traces do not distort sampling stats."""
+    pipeline, _ = build_demo_pipeline(seed=7)
+    collector = PostcardCollector(sample_every=2)
+    pipeline.telemetry = collector
+    pipeline.process_batch(make_batch(10, seed=7), trace=True)
+    assert collector.packets_seen == 10
+    assert collector.postcards_sampled == 5

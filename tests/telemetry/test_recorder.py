@@ -1,0 +1,63 @@
+"""Flight recorder: bounded ring, dumps, snap retention, file export."""
+
+import json
+
+import pytest
+
+from repro.telemetry.recorder import FlightRecorder
+
+
+def test_ring_is_bounded_and_ordered():
+    recorder = FlightRecorder(capacity=3)
+    for i in range(5):
+        recorder.add("state", {"i": i})
+    assert len(recorder) == 3
+    assert [e["data"]["i"] for e in recorder.events] == [2, 3, 4]
+    assert recorder.events_recorded == 5
+    seqs = [e["seq"] for e in recorder.events]
+    assert seqs == sorted(seqs)
+
+
+def test_record_state_shorthand():
+    recorder = FlightRecorder()
+    recorder.record_state("fabric.admit", tenant=4, ok=True)
+    [event] = recorder.events
+    assert event["kind"] == "state"
+    assert event["data"] == {"event": "fabric.admit", "tenant": 4, "ok": True}
+
+
+def test_dump_freezes_without_retaining():
+    recorder = FlightRecorder()
+    recorder.add("span", {"name": "x"})
+    dump = recorder.dump("because", detail=1)
+    assert dump["reason"] == "because"
+    assert dump["context"] == {"detail": 1}
+    assert len(dump["events"]) == 1
+    assert not recorder.dumps
+    # A dump is a copy: later events do not leak into it.
+    recorder.add("span", {"name": "y"})
+    assert len(dump["events"]) == 1
+
+
+def test_snap_retains_bounded_dumps():
+    recorder = FlightRecorder(max_dumps=2)
+    for i in range(3):
+        recorder.snap(f"failure-{i}")
+    assert recorder.dumps_snapped == 3
+    assert [d["reason"] for d in recorder.dumps] == ["failure-1", "failure-2"]
+
+
+def test_dump_to_writes_json(tmp_path):
+    recorder = FlightRecorder()
+    recorder.record_state("drain", switch="sw0")
+    path = recorder.dump_to(tmp_path / "post_mortem.json", "drain-failed")
+    loaded = json.loads(path.read_text())
+    assert loaded["reason"] == "drain-failed"
+    assert loaded["events"][0]["data"]["event"] == "drain"
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+    with pytest.raises(ValueError):
+        FlightRecorder(max_dumps=0)

@@ -1,0 +1,123 @@
+"""Spans and tracer: parent/child linkage, error capture, exports, and the
+null-span fast path used when tracing is off."""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.recorder import FlightRecorder
+from repro.telemetry.spans import NULL_SPAN, Tracer, maybe_span
+
+
+def test_nested_spans_link_parent_child_and_share_a_trace():
+    tracer = Tracer()
+    with tracer.span("outer", op="admit") as outer:
+        with tracer.span("inner") as inner:
+            assert tracer.current() is inner
+            assert inner.parent_id == outer.span_id
+            assert inner.trace_id == outer.trace_id
+    assert tracer.current() is None
+    assert [s.name for s in tracer.finished] == ["inner", "outer"]
+    assert outer.duration_ns >= inner.duration_ns >= 0
+    kids = tracer.children(outer)
+    assert [s.name for s in kids] == ["inner"]
+    assert [s.name for s in tracer.roots()] == ["outer"]
+
+
+def test_sibling_roots_get_distinct_trace_ids():
+    tracer = Tracer()
+    with tracer.span("first"):
+        pass
+    with tracer.span("second"):
+        pass
+    ids = {s.trace_id for s in tracer.finished}
+    assert len(ids) == 2
+    assert len(tracer.traces()) == 2
+
+
+def test_span_records_error_status_on_exception():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            raise RuntimeError("nope")
+    [span] = tracer.finished
+    assert span.status == "error"
+    assert span.attrs["error"] == "RuntimeError"
+    assert span.end_ns is not None
+
+
+def test_maybe_span_returns_shared_null_span_when_tracing_off():
+    assert maybe_span(None, "anything") is NULL_SPAN
+    with maybe_span(None, "anything", a=1) as span:
+        assert span.set(b=2) is span  # annotation is a no-op, not an error
+    tracer = Tracer()
+    with maybe_span(tracer, "real") as span:
+        assert span is not NULL_SPAN
+    assert [s.name for s in tracer.finished] == ["real"]
+
+
+def test_finished_ring_is_bounded():
+    tracer = Tracer(capacity=3)
+    for i in range(5):
+        with tracer.span(f"s{i}"):
+            pass
+    assert [s.name for s in tracer.finished] == ["s2", "s3", "s4"]
+    assert tracer.spans_started == 5
+    tracer.clear()
+    assert not tracer.finished
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_tracer_feeds_metrics_and_recorder():
+    metrics = MetricsRegistry()
+    recorder = FlightRecorder()
+    tracer = Tracer(metrics=metrics, recorder=recorder)
+    with tracer.span("op"):
+        pass
+    hist = metrics.snapshot()["histograms"]["span_latency_s.op"]
+    assert hist["count"] == 1
+    [event] = recorder.events
+    assert event["kind"] == "span"
+    assert event["data"]["name"] == "op"
+
+
+def test_jsonl_export_round_trips():
+    tracer = Tracer()
+    with tracer.span("outer", tenant=7):
+        with tracer.span("inner"):
+            pass
+    lines = [json.loads(line) for line in tracer.export_jsonl().splitlines()]
+    assert [d["name"] for d in lines] == ["inner", "outer"]
+    inner, outer = lines
+    assert inner["parent_id"] == outer["span_id"]
+    assert outer["attrs"] == {"tenant": 7}
+    assert all(d["duration_ns"] >= 0 for d in lines)
+
+
+def test_chrome_trace_export_shape():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    events = tracer.to_chrome_trace()
+    json.dumps(events)  # must be directly serializable
+    assert {e["name"] for e in events} == {"outer", "inner"}
+    for event in events:
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0
+        assert event["pid"] == 1  # one trace -> one process row
+        assert "span_id" in event["args"]
+
+
+def test_render_tree_shows_hierarchy_and_attrs():
+    tracer = Tracer()
+    with tracer.span("admit", tenant=3) as span:
+        with tracer.span("place"):
+            pass
+        span.set(ok=True)
+    text = tracer.render_tree(tracer.roots()[0])
+    first, second = text.splitlines()
+    assert first.startswith("admit ") and "tenant=3" in first and "ok=True" in first
+    assert second.startswith("  place ")

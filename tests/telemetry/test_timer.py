@@ -1,0 +1,58 @@
+"""The Timer satellite: registry stopwatches and the back-compat shim for
+the metrics module's old ``repro.controller.metrics`` home."""
+
+import time
+
+from repro.telemetry.metrics import MetricsRegistry, Timer
+
+
+def test_timer_observes_into_registry_histogram():
+    registry = MetricsRegistry()
+    with registry.timer("op_latency_s.admit") as timer:
+        time.sleep(0.001)
+    assert timer.elapsed_s >= 0.001
+    hist = registry.snapshot()["histograms"]["op_latency_s.admit"]
+    assert hist["count"] == 1
+    assert hist["sum"] >= 0.001
+
+
+def test_timer_elapsed_is_live_inside_and_frozen_after():
+    with Timer() as timer:
+        first = timer.elapsed_s
+        time.sleep(0.001)
+        second = timer.elapsed_s
+    assert second > first
+    frozen = timer.elapsed_s
+    time.sleep(0.001)
+    assert timer.elapsed_s == frozen  # stopped on exit
+
+
+def test_standalone_timer_runs_from_construction():
+    timer = Timer()
+    time.sleep(0.001)
+    assert timer.elapsed_s >= 0.001  # no with-block needed
+    assert timer.histogram is None
+
+
+def test_timer_observes_even_when_body_raises():
+    registry = MetricsRegistry()
+    try:
+        with registry.timer("failing_op_s"):
+            raise RuntimeError("op failed")
+    except RuntimeError:
+        pass
+    assert registry.snapshot()["histograms"]["failing_op_s"]["count"] == 1
+
+
+def test_controller_metrics_shim_reexports_the_same_objects():
+    import repro.controller.metrics as shim
+    import repro.telemetry.metrics as real
+
+    assert shim.MetricsRegistry is real.MetricsRegistry
+    assert shim.Counter is real.Counter
+    assert shim.Gauge is real.Gauge
+    assert shim.Histogram is real.Histogram
+    assert shim.Timer is real.Timer
+    assert shim.DEFAULT_LATENCY_BUCKETS is real.DEFAULT_LATENCY_BUCKETS
+    # Instances cross the shim boundary transparently.
+    assert isinstance(shim.MetricsRegistry(), real.MetricsRegistry)

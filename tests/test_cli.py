@@ -90,6 +90,57 @@ def test_fabric_least_backplane_trace_roundtrip(capsys, tmp_path):
     assert "fabric invariant: OK" in out
 
 
+def test_trace_prints_span_tree_and_postcard(capsys, tmp_path):
+    chrome = tmp_path / "trace.json"
+    jsonl = tmp_path / "spans.jsonl"
+    code = main([
+        "trace", "--chrome", str(chrome), "--jsonl", str(jsonl),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    # The connected control-plane tree, fabric down to the runtime writes.
+    assert "fabric.admit" in out
+    assert "controller.admit" in out
+    assert "install.install" in out
+    assert "runtime.write" in out
+    # The INT postcard shows recirculation passes.
+    assert "postcard tenant=1" in out
+    assert "pass 1 stage 0" in out
+    assert "pass 2 stage 0" in out
+
+    import json
+
+    events = json.loads(chrome.read_text())
+    assert any(e["name"] == "runtime.write" for e in events)
+    spans = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    assert len({s["trace_id"] for s in spans}) == 1
+
+
+def test_metrics_renders_prometheus_text(capsys):
+    code = main([
+        "metrics", "--quick", "--rate", "3", "--seed", "2",
+        "--sample-every", "8", "--probes", "16",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "# TYPE sfp_admitted_total counter" in out
+    assert "# TYPE sfp_telemetry_packets_seen gauge" in out
+    assert 'sfp_op_latency_s_admit_bucket{le="+Inf"}' in out
+    assert "sfp_op_latency_s_admit_count" in out
+
+
+def test_metrics_writes_file(capsys, tmp_path):
+    out_file = tmp_path / "metrics.prom"
+    code = main([
+        "metrics", "--quick", "--rate", "2", "--seed", "3",
+        "-o", str(out_file),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert str(out_file) in out
+    assert "sfp_admitted_total" in out_file.read_text()
+
+
 def test_fig5_quick(capsys):
     assert main(["fig5", "--quick", "--seed", "1"]) == 0
     out = capsys.readouterr().out

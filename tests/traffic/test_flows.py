@@ -1,6 +1,5 @@
 """Tests for flow/packet generation."""
 
-import numpy as np
 import pytest
 
 from repro.errors import WorkloadError
