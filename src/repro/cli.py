@@ -10,8 +10,10 @@ controllers, cross-switch stitching, optional ``--drain`` failover demo);
 admits a recirculating chain under a control-plane tracer and prints the
 causally linked span tree plus an INT-style packet postcard; ``sfp
 metrics`` replays churn with sampled telemetry and renders the registry in
-Prometheus text format.  ``--quick`` shrinks the paper-scale sweeps to
-seconds.
+Prometheus text format; ``sfp recover`` rebuilds a controller or fabric
+from a durability directory (``--wal-dir`` on churn runs) and ``sfp
+checkpoint`` snapshots + compacts one.  ``--quick`` shrinks the
+paper-scale sweeps to seconds.
 """
 
 from __future__ import annotations
@@ -134,7 +136,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_controller(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
-    from repro.controller import ChurnConfig, ChurnEngine, SfcController, synthesize_churn
+    from repro.controller import (
+        ChurnConfig,
+        ChurnEngine,
+        SfcController,
+        save_events,
+        synthesize_churn,
+    )
     from repro.experiments.config import PAPER_SWITCH, PAPER_WORKLOAD
     from repro.traffic.workload import make_instance
 
@@ -152,7 +160,15 @@ def _cmd_controller(args: argparse.Namespace) -> int:
     controller = SfcController.for_instance(
         instance, with_dataplane=not args.no_dataplane
     )
+    if args.wal_dir:
+        from repro.durability import ControllerDurability
+
+        ControllerDurability(args.wal_dir, fsync=args.fsync).attach(controller)
+        print(f"journaling to {args.wal_dir} (fsync={args.fsync})")
     events = synthesize_churn(config, rng=args.seed)
+    if args.save_trace:
+        save_events(args.save_trace, events, seed=args.seed, config=config)
+        print(f"wrote churn trace: {args.save_trace}")
     report = ChurnEngine(controller).replay(events)
     print(report.describe())
     print(f"live tenants: {len(controller.tenants)}")
@@ -167,7 +183,7 @@ def _cmd_controller(args: argparse.Namespace) -> int:
 def _cmd_fabric(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
-    from repro.controller import ChurnConfig, load_events, synthesize_churn
+    from repro.controller import ChurnConfig, load_events, save_events, synthesize_churn
     from repro.experiments.config import PAPER_SWITCH, PAPER_WORKLOAD
     from repro.fabric import (
         FabricChurnEngine,
@@ -187,6 +203,11 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
         partitioner=make_partitioner(args.partitioner),
         with_dataplane=not args.no_dataplane,
     )
+    if args.wal_dir:
+        from repro.durability import FabricDurability
+
+        FabricDurability(args.wal_dir, fsync=args.fsync).attach(fabric)
+        print(f"journaling to {args.wal_dir} (fsync={args.fsync})")
     if args.trace:
         events = load_events(args.trace)
     else:
@@ -199,6 +220,9 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
             workload=workload,
         )
         events = synthesize_churn(config, rng=args.seed)
+        if args.save_trace:
+            save_events(args.save_trace, events, seed=args.seed, config=config)
+            print(f"wrote churn trace: {args.save_trace}")
     report = FabricChurnEngine(fabric).replay(events)
     print(f"fabric: {args.switches} switches ({args.partitioner}), "
           f"{len(fabric.links)} links")
@@ -238,6 +262,76 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
               f"{'OK' if not problems else problems}")
         if problems:
             return 1
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.durability import read_manifest, recover_controller, recover_fabric
+
+    manifest = read_manifest(args.dir)
+    if manifest.get("kind") == "fabric":
+        fabric, report = recover_fabric(
+            args.dir, with_dataplane=(False if args.no_dataplane else None)
+        )
+        print(report.describe())
+        for note in report.notes:
+            print(f"  note: {note}")
+        for problem in report.problems:
+            print(f"  problem: {problem}")
+        summary = fabric.summary()
+        print(f"live tenants: {summary['tenants']} "
+              f"({summary['stitched_tenants']} stitched across switches)")
+        problems = fabric.check_invariant()
+        print(f"fabric invariant: {'OK' if not problems else problems}")
+        return 0 if report.ok and not problems else 1
+    controller, report = recover_controller(
+        args.dir, with_dataplane=(False if args.no_dataplane else None)
+    )
+    print(report.describe())
+    for problem in report.problems:
+        print(f"  problem: {problem}")
+    print(f"live tenants: {len(controller.tenants)}")
+    print(f"state digest: {controller.state.digest()}")
+    return 0 if report.ok else 1
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.durability import (
+        CheckpointStore,
+        ControllerDurability,
+        FabricDurability,
+        read_manifest,
+        recover_controller,
+        recover_fabric,
+        scan_wal,
+    )
+
+    manifest = read_manifest(args.dir)
+    # Recovery replays the log and — when it verifies clean — takes a fresh
+    # checkpoint and compacts; this command is that plus a status printout.
+    if manifest.get("kind") == "fabric":
+        _fabric, report = recover_fabric(
+            args.dir, with_dataplane=(False if args.no_dataplane else None)
+        )
+        wal_name = FabricDurability.WAL_NAME
+    else:
+        _controller, report = recover_controller(
+            args.dir, with_dataplane=(False if args.no_dataplane else None)
+        )
+        wal_name = ControllerDurability.WAL_NAME
+    if not report.ok:
+        print(f"not checkpointed — recovery failed: {report.describe()}")
+        for problem in report.problems:
+            print(f"  problem: {problem}")
+        return 1
+    store = CheckpointStore(args.dir)
+    scan = scan_wal(Path(args.dir) / wal_name)
+    print(f"checkpointed {manifest['kind']} at lsn {report.last_lsn} "
+          f"(digest {report.digest})")
+    print(f"checkpoints on disk: {store.lsns()}")
+    print(f"wal: {len(scan.records)} records past lsn {scan.base_lsn}")
     return 0
 
 
@@ -389,6 +483,20 @@ def main(argv: list[str] | None = None) -> int:
         "--no-dataplane", action="store_true",
         help="control-plane only (skip the behavioural pipeline mirror)",
     )
+    p.add_argument(
+        "--save-trace", default=None, metavar="OUT",
+        help="also write the synthesized churn stream as a JSONL trace "
+             "(header records the seed, so the file alone replays the run)",
+    )
+    p.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="journal every committed op to a write-ahead log in DIR "
+             "(recover later with `sfp recover DIR`)",
+    )
+    p.add_argument(
+        "--fsync", choices=("always", "batch", "off"), default="batch",
+        help="WAL fsync policy when --wal-dir is set",
+    )
     p.set_defaults(func=_cmd_controller)
 
     p = sub.add_parser(
@@ -428,7 +536,45 @@ def main(argv: list[str] | None = None) -> int:
         "--no-dataplane", action="store_true",
         help="control-plane only (skip the behavioural pipeline mirror)",
     )
+    p.add_argument(
+        "--save-trace", default=None, metavar="OUT",
+        help="also write the synthesized churn stream as a JSONL trace "
+             "(header records the seed, so the file alone replays the run)",
+    )
+    p.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="journal every committed fabric op (plus per-switch WAL "
+             "shards) to DIR (recover later with `sfp recover DIR`)",
+    )
+    p.add_argument(
+        "--fsync", choices=("always", "batch", "off"), default="batch",
+        help="WAL fsync policy when --wal-dir is set",
+    )
     p.set_defaults(func=_cmd_fabric)
+
+    p = sub.add_parser(
+        "recover",
+        help="rebuild a controller/fabric from a durability directory "
+             "(checkpoint + WAL replay) and verify it bit-for-bit",
+    )
+    p.add_argument("dir", help="durability directory (the --wal-dir of a run)")
+    p.add_argument(
+        "--no-dataplane", action="store_true",
+        help="recover control-plane only, regardless of the journaled mode",
+    )
+    p.set_defaults(func=_cmd_recover)
+
+    p = sub.add_parser(
+        "checkpoint",
+        help="checkpoint a durability directory: recover, snapshot the "
+             "state, compact the write-ahead log",
+    )
+    p.add_argument("dir", help="durability directory (the --wal-dir of a run)")
+    p.add_argument(
+        "--no-dataplane", action="store_true",
+        help="recover control-plane only, regardless of the journaled mode",
+    )
+    p.set_defaults(func=_cmd_checkpoint)
 
     p = sub.add_parser("demo", help="trace a packet through a virtualized chain")
     _add_common(p)

@@ -30,6 +30,7 @@ from repro.controller.events import (
     ChurnReport,
     EventKind,
     load_events,
+    read_trace_header,
     save_events,
     synthesize_churn,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "check_admission",
     "default_rule_factory",
     "load_events",
+    "read_trace_header",
     "save_events",
     "synthesize_churn",
 ]

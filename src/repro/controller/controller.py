@@ -49,7 +49,7 @@ from repro.core.update import merge_churn, rule_churn_by_stage
 from repro.dataplane.pipeline import SwitchPipeline
 from repro.dataplane.table import TableEntry
 from repro.dataplane.virtualization import LogicalNF, LogicalSFC, physical_table_name
-from repro.errors import DataPlaneError
+from repro.errors import DataPlaneError, DurabilityError
 from repro.nfs.registry import get_nf, install_physical_nf
 from repro.telemetry.metrics import MetricsRegistry, Timer
 from repro.telemetry.recorder import FlightRecorder
@@ -144,6 +144,13 @@ class SfcController:
         self.metrics = MetricsRegistry()
         self.tracer = tracer
         self.recorder = recorder
+        #: Optional durability sink (duck-typed ``commit_op(controller, op,
+        #: data)``): a :class:`~repro.durability.checkpoint.
+        #: ControllerDurability` for a standalone controller, or the fabric
+        #: coordinator's per-switch :class:`~repro.durability.checkpoint.
+        #: ShardWalLogger`.  Set by ``attach()``; every *successful* lifecycle
+        #: op is journaled through it after it commits.
+        self.durability = None
         self.with_dataplane = with_dataplane
         self.pipeline: SwitchPipeline | None = None
         self.installer: TransactionalInstaller | None = None
@@ -267,6 +274,21 @@ class SfcController:
                 reason=result.reason,
             )
 
+    def _commit_durable(self, op: str, result: OpResult, data: dict) -> None:
+        """Journal one *successful* lifecycle op to the attached durability
+        sink.  The record carries everything replay needs to re-drive the op
+        (the chain, the tenant) plus the post-op state digest, which gives
+        recovery a per-LSN oracle to verify bit-identical reconstruction
+        against.  Failed ops are not journaled — they did not change state."""
+        if self.durability is None or not result.ok:
+            return
+        payload = dict(data)
+        payload["tenant_id"] = result.tenant_id
+        if result.stages is not None:
+            payload["stages"] = list(result.stages)
+        payload["digest"] = self.state.digest()
+        self.durability.commit_op(self, op, payload)
+
     def _logical(self, sfc: SFC) -> LogicalSFC:
         """Lower a control-plane SFC to the data plane's logical form, with
         concrete rules from the controller's rule factory."""
@@ -334,6 +356,7 @@ class SfcController:
             result = self._admit(sfc, timer)
             span.set(ok=result.ok, reason=result.reason)
         self._record_op(result)
+        self._commit_durable("admit", result, {"sfc": sfc.to_dict()})
         return result
 
     def _admit(self, sfc: SFC, timer: Timer) -> OpResult:
@@ -403,6 +426,7 @@ class SfcController:
             result = self._evict(tenant_id, timer)
             span.set(ok=result.ok, reason=result.reason)
         self._record_op(result)
+        self._commit_durable("evict", result, {})
         return result
 
     def _evict(self, tenant_id: int, timer: Timer) -> OpResult:
@@ -448,6 +472,7 @@ class SfcController:
             result = self._modify(tenant_id, new_chain, timer)
             span.set(ok=result.ok, reason=result.reason, hitless=result.hitless)
         self._record_op(result)
+        self._commit_durable("modify", result, {"sfc": new_chain.to_dict()})
         return result
 
     def _modify(self, tenant_id: int, new_chain: SFC, timer: Timer) -> OpResult:
@@ -546,6 +571,46 @@ class SfcController:
         if self.with_dataplane:
             created: list[tuple[int, str]] = []
             self._ensure_physical(prev, created)
+        if self.durability is not None:
+            self.durability.commit_op(
+                self, "catalog", {"digest": self.state.digest()}
+            )
+
+    # ------------------------------------------------------------------
+    # Checkpoint restore
+    # ------------------------------------------------------------------
+    def restore_tenant(self, sfc: SFC, stages: tuple[int, ...]) -> None:
+        """Re-install a tenant at its *recorded* stages — the checkpoint
+        restore path.  Admission and placement are bypassed on purpose: a
+        tenant's historical stages depend on the full arrival/departure
+        history, so re-placing survivors would not reproduce them.  The
+        restore is not journaled (it reconstructs already-journaled state).
+        """
+        if sfc.tenant_id in self.tenants:
+            raise DurabilityError(
+                f"tenant {sfc.tenant_id} already live; restore_tenant is a "
+                f"fresh-state operation"
+            )
+        stages = tuple(int(k) for k in stages)
+        if len(stages) != sfc.length:
+            raise DurabilityError(
+                f"tenant {sfc.tenant_id}: {sfc.length} NFs but "
+                f"{len(stages)} recorded stages"
+            )
+        prev_physical = self.state.physical.copy()
+        S = self.base.switch.stages
+        for j, k in enumerate(stages):
+            self.state.add_logical_nf(
+                sfc.nf_types[j] - 1, (k - 1) % S, sfc.rules[j]
+            )
+        if self.with_dataplane:
+            assert self.installer is not None
+            created: list[tuple[int, str]] = []
+            self._ensure_physical(prev_physical, created)
+            self.installer.install(self._logical(sfc), stages)
+        self.tenants[sfc.tenant_id] = TenantRecord(sfc=sfc, stages=stages)
+        self._renormalize_backplane()
+        self._refresh_gauges()
 
     # ------------------------------------------------------------------
     # Drift-bounded reconfiguration
@@ -623,4 +688,8 @@ class SfcController:
         self.metrics.inc("rules_inserted", sum(added.values()))
         self.metrics.inc("rules_deleted", sum(deleted.values()))
         self._refresh_gauges()
+        if self.durability is not None:
+            self.durability.commit_op(
+                self, "reconfigure", {"digest": self.state.digest()}
+            )
         return True

@@ -13,6 +13,7 @@ numbers ``benchmarks/bench_controller_churn.py`` serializes.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import json
 from dataclasses import dataclass, field, replace
@@ -60,28 +61,13 @@ class ChurnEvent:
             "tenant_id": self.tenant_id,
         }
         if self.sfc is not None:
-            record["sfc"] = {
-                "name": self.sfc.name,
-                "nf_types": list(self.sfc.nf_types),
-                "rules": list(self.sfc.rules),
-                "bandwidth_gbps": self.sfc.bandwidth_gbps,
-                "tenant_id": self.sfc.tenant_id,
-            }
+            record["sfc"] = self.sfc.to_dict()
         return record
 
     @classmethod
     def from_dict(cls, record: dict) -> "ChurnEvent":
         """Inverse of :meth:`to_dict`."""
-        sfc = None
-        if "sfc" in record:
-            raw = record["sfc"]
-            sfc = SFC(
-                name=raw["name"],
-                nf_types=tuple(raw["nf_types"]),
-                rules=tuple(raw["rules"]),
-                bandwidth_gbps=float(raw["bandwidth_gbps"]),
-                tenant_id=int(raw["tenant_id"]),
-            )
+        sfc = SFC.from_dict(record["sfc"]) if "sfc" in record else None
         return cls(
             time_s=float(record["time_s"]),
             seq=int(record["seq"]),
@@ -182,21 +168,62 @@ def synthesize_churn(
 # ----------------------------------------------------------------------
 # JSONL traces
 # ----------------------------------------------------------------------
-def save_events(path: str | Path, events: Iterable[ChurnEvent]) -> None:
-    """Write a churn stream as one JSON object per line."""
+#: Format version written into trace header records.
+TRACE_VERSION = 1
+
+
+def save_events(
+    path: str | Path,
+    events: Iterable[ChurnEvent],
+    seed: int | None = None,
+    config: ChurnConfig | None = None,
+) -> None:
+    """Write a churn stream as one JSON object per line, preceded by a
+    header record carrying the provenance a replay needs — the synthesis
+    RNG seed, the churn knobs, and the event count — so a trace file alone
+    suffices to reproduce (or re-synthesize and cross-check) the run."""
+    events = list(events)
+    header: dict = {
+        "header": True,
+        "version": TRACE_VERSION,
+        "num_events": len(events),
+    }
+    if seed is not None:
+        header["seed"] = int(seed)
+    if config is not None:
+        header["config"] = dataclasses.asdict(config)
     with Path(path).open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
         for event in events:
             fh.write(json.dumps(event.to_dict()) + "\n")
 
 
+def read_trace_header(path: str | Path) -> dict | None:
+    """The header record of a trace file, or ``None`` for a headerless
+    (pre-header-format) trace."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            return record if record.get("header") else None
+    return None
+
+
 def load_events(path: str | Path) -> list[ChurnEvent]:
-    """Read a churn stream saved by :func:`save_events`."""
+    """Read a churn stream saved by :func:`save_events` (the header record,
+    when present, is skipped — :func:`read_trace_header` returns it)."""
     events = []
     with Path(path).open("r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
-            if line:
-                events.append(ChurnEvent.from_dict(json.loads(line)))
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("header"):
+                continue
+            events.append(ChurnEvent.from_dict(record))
     return events
 
 

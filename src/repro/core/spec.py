@@ -108,6 +108,29 @@ class SFC:
         object.__setattr__(self, "nf_types", tuple(int(t) for t in self.nf_types))
         object.__setattr__(self, "rules", tuple(int(r) for r in self.rules))
 
+    def to_dict(self) -> dict:
+        """JSON-native form — the shape shared by churn traces
+        (:mod:`repro.controller.events`) and the durability subsystem's WAL
+        records and checkpoints."""
+        return {
+            "name": self.name,
+            "nf_types": list(self.nf_types),
+            "rules": list(self.rules),
+            "bandwidth_gbps": self.bandwidth_gbps,
+            "tenant_id": self.tenant_id,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "SFC":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=record["name"],
+            nf_types=tuple(record["nf_types"]),
+            rules=tuple(record["rules"]),
+            bandwidth_gbps=float(record["bandwidth_gbps"]),
+            tenant_id=int(record["tenant_id"]),
+        )
+
     @property
     def length(self) -> int:
         """The paper's ``J_l``."""

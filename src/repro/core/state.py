@@ -17,6 +17,8 @@ from the entry matrix, making ``fits``/``blocks_needed_for`` O(1).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,6 +26,17 @@ import numpy as np
 from repro.core.placement import NFAssignment, Placement
 from repro.core.spec import ProblemInstance
 from repro.errors import PlacementError
+
+
+def stable_digest(payload: object) -> str:
+    """A short stable blake2b hex digest of a JSON-native payload.
+
+    The payload is serialized canonically (sorted keys, no whitespace), so
+    equal values always hash equal; floats must already be in a bit-exact
+    encoding (use ``float.hex()``) when bit-identity matters.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
 
 
 @dataclass
@@ -78,6 +91,18 @@ class LinkState:
     def release_load(self, gbps: float) -> None:
         """Return stitched-chain bandwidth (tenant departure)."""
         self.load_gbps = max(0.0, self.load_gbps - gbps)
+
+    def digest(self) -> str:
+        """Stable blake2b digest of the link's exact state.  The load float
+        is hashed via ``float.hex()``, so two digests are equal iff the
+        loads are bit-identical — what invariant checks and crash-recovery
+        acceptance compare instead of deep structures."""
+        return stable_digest(
+            {
+                "capacity_gbps": self.capacity_gbps.hex(),
+                "load_gbps": self.load_gbps.hex(),
+            }
+        )
 
     def __repr__(self) -> str:
         return (
@@ -235,6 +260,32 @@ class PipelineState:
     def release_backplane(self, gbps: float) -> None:
         """Return backplane bandwidth (tenant departure)."""
         self.backplane_gbps = max(0.0, self.backplane_gbps - gbps)
+
+    def digest(self) -> str:
+        """Stable blake2b digest over the sorted snapshot of the full
+        resource state (physical layout, entry/block matrices, backplane).
+
+        The backplane float is hashed via ``float.hex()``, so two digests
+        are equal iff the states are **bit-identical** — the controller's
+        churn invariant and the durability subsystem's recovery acceptance
+        compare this short hash instead of deep structures.
+
+        The fields are hashed in a fixed sorted order over their raw array
+        bytes (shape included) rather than through a JSON round-trip: the
+        WAL journals one digest per committed op, so this sits on the
+        controller's hot path.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(self.backplane_gbps.hex().encode("ascii"))
+        h.update(b"|%d%d|" % (self.consolidate, self.reserve_physical_block))
+        for arr in (
+            self.entries.astype(np.int64, copy=False),
+            self.nf_blocks.astype(np.int64, copy=False),
+            self._physical,
+        ):
+            h.update(str(arr.shape).encode("ascii"))
+            h.update(np.ascontiguousarray(arr).tobytes())
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # Snapshot / rollback (greedy's Try_placement)

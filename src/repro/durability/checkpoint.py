@@ -1,0 +1,557 @@
+"""Checkpoints: periodic full snapshots of controller / fabric state.
+
+A checkpoint freezes everything recovery needs to rebuild a **bit-identical**
+control-plane state without replaying history: the physical NF layout, every
+live tenant's chain and its *actual* committed stages (stages must be
+recorded, not re-derived — a tenant's placement depends on the full history
+of arrivals and departures, not just the survivors), the fabric directory
+with its stitched segments and link charges, and the drained-switch set.
+Shapes are JSON-native with sorted keys (the same discipline as
+``MetricsRegistry.snapshot``), carry the state digest they were taken at,
+and are CRC-protected on disk.
+
+:class:`CheckpointStore` writes checkpoints atomically (tmp + rename +
+fsync), retains the most recent few, and skips corrupt files at load time.
+
+:class:`ControllerDurability` / :class:`FabricDurability` are the attach-side
+coordinators: they own the write-ahead log(s), write the recovery manifest,
+journal every committed op, and checkpoint + compact every
+``checkpoint_every`` ops.  The fabric variant keeps **one WAL shard per
+switch** (each shard controller journals its own ops) plus the fabric-level
+manifest log that recovery replays.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.spec import SFC
+from repro.durability.wal import WriteAheadLog, _canonical, _fsync_dir
+from repro.errors import DurabilityError
+
+if TYPE_CHECKING:  # import cycle: controller/fabric import this module's users
+    from repro.controller.controller import SfcController
+    from repro.fabric.orchestrator import FabricOrchestrator
+
+MANIFEST_NAME = "MANIFEST.json"
+CHECKPOINT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Snapshot / restore shapes
+# ----------------------------------------------------------------------
+def controller_checkpoint(controller: "SfcController", lsn: int) -> dict:
+    """Snapshot one controller's full control-plane state at WAL ``lsn``."""
+    return {
+        "kind": "controller-checkpoint",
+        "version": CHECKPOINT_VERSION,
+        "lsn": int(lsn),
+        "name": controller.name,
+        "physical": controller.state.physical.astype(int).tolist(),
+        "tenants": [
+            {
+                "tenant_id": t,
+                "sfc": controller.tenants[t].sfc.to_dict(),
+                "stages": list(controller.tenants[t].stages),
+            }
+            for t in sorted(controller.tenants)
+        ],
+        "digest": controller.state.digest(),
+    }
+
+
+def restore_controller(controller: "SfcController", checkpoint: dict) -> None:
+    """Rebuild a freshly constructed controller from a checkpoint.
+
+    The physical layout is adopted wholesale (it includes NFs left installed
+    by since-evicted tenants — part of the live state), every tenant is
+    re-installed at its *recorded* stages through
+    :meth:`SfcController.restore_tenant`, and the backplane float is
+    renormalized in sorted-tenant order.  The result must match the
+    checkpoint's digest bit for bit, else the checkpoint is rejected.
+    """
+    if controller.tenants:
+        raise DurabilityError("checkpoint restore needs a fresh controller")
+    layout = np.asarray(checkpoint["physical"], dtype=bool)
+    controller.state.physical = layout
+    if controller.with_dataplane:
+        created: list[tuple[int, str]] = []
+        controller._ensure_physical(np.zeros_like(layout), created)
+    for entry in checkpoint["tenants"]:
+        controller.restore_tenant(
+            SFC.from_dict(entry["sfc"]), tuple(entry["stages"])
+        )
+    controller._renormalize_backplane()
+    controller._refresh_gauges()
+    digest = controller.state.digest()
+    if digest != checkpoint["digest"]:
+        raise DurabilityError(
+            f"checkpoint restore diverged: state digest {digest} != "
+            f"recorded {checkpoint['digest']}"
+        )
+
+
+def fabric_checkpoint(fabric: "FabricOrchestrator", lsn: int) -> dict:
+    """Snapshot a whole fabric: per-switch layouts, the tenant directory
+    (segments + links), and the drained set, at fabric WAL ``lsn``."""
+    return {
+        "kind": "fabric-checkpoint",
+        "version": CHECKPOINT_VERSION,
+        "lsn": int(lsn),
+        "physical": {
+            name: fabric.shards[name].state.physical.astype(int).tolist()
+            for name in fabric.topology.switch_names
+        },
+        "tenants": [
+            {
+                "tenant_id": t,
+                "sfc": fabric.tenants[t].sfc.to_dict(),
+                "segments": [
+                    {
+                        "switch": seg.switch,
+                        "sfc": seg.sfc.to_dict(),
+                        "start": seg.start,
+                        "stop": seg.stop,
+                        "stages": list(seg.stages),
+                    }
+                    for seg in fabric.tenants[t].segments
+                ],
+                "links": [list(key) for key in fabric.tenants[t].links],
+            }
+            for t in sorted(fabric.tenants)
+        ],
+        "drained": sorted(fabric.drained),
+        "shard_digests": {
+            name: fabric.shards[name].state.digest()
+            for name in fabric.topology.switch_names
+        },
+        "digest": fabric.digest(),
+    }
+
+
+def restore_fabric(fabric: "FabricOrchestrator", checkpoint: dict) -> None:
+    """Rebuild a freshly constructed fabric from a checkpoint: restore each
+    shard's layout, re-install every directory segment at its recorded
+    stages, rebuild the directory and drained set, and renormalize link
+    loads.  Verified against the recorded per-shard and fabric digests."""
+    from repro.fabric.orchestrator import FabricTenant, Segment
+
+    if fabric.tenants:
+        raise DurabilityError("checkpoint restore needs a fresh fabric")
+    for name, layout in checkpoint["physical"].items():
+        if name not in fabric.shards:
+            raise DurabilityError(f"checkpoint references unknown switch {name!r}")
+        shard = fabric.shards[name]
+        matrix = np.asarray(layout, dtype=bool)
+        shard.state.physical = matrix
+        if shard.with_dataplane:
+            created: list[tuple[int, str]] = []
+            shard._ensure_physical(np.zeros_like(matrix), created)
+    for entry in checkpoint["tenants"]:
+        tenant_id = int(entry["tenant_id"])
+        segments = []
+        for seg in entry["segments"]:
+            seg_sfc = SFC.from_dict(seg["sfc"])
+            fabric.shards[seg["switch"]].restore_tenant(
+                seg_sfc, tuple(seg["stages"])
+            )
+            segments.append(
+                Segment(
+                    switch=seg["switch"],
+                    sfc=seg_sfc,
+                    start=int(seg["start"]),
+                    stop=int(seg["stop"]),
+                    stages=tuple(seg["stages"]),
+                )
+            )
+        fabric.tenants[tenant_id] = FabricTenant(
+            sfc=SFC.from_dict(entry["sfc"]),
+            segments=tuple(segments),
+            links=tuple(tuple(key) for key in entry["links"]),
+        )
+    fabric.drained = set(checkpoint["drained"])
+    fabric._renormalize_links()
+    fabric._refresh_gauges()
+    for name, expected in checkpoint["shard_digests"].items():
+        digest = fabric.shards[name].state.digest()
+        if digest != expected:
+            raise DurabilityError(
+                f"checkpoint restore diverged on {name}: digest {digest} != "
+                f"recorded {expected}"
+            )
+    digest = fabric.digest()
+    if digest != checkpoint["digest"]:
+        raise DurabilityError(
+            f"checkpoint restore diverged: fabric digest {digest} != "
+            f"recorded {checkpoint['digest']}"
+        )
+
+
+# ----------------------------------------------------------------------
+# On-disk store
+# ----------------------------------------------------------------------
+class CheckpointStore:
+    """Atomic, CRC-protected checkpoint files with bounded retention.
+
+    Files are named ``checkpoint-<lsn>.json`` and written tmp + rename +
+    dir-fsync, so a crash mid-checkpoint leaves the previous checkpoint
+    intact.  :meth:`load_latest` walks newest-first and skips files that
+    fail the CRC self-check, so one corrupt checkpoint degrades to the one
+    before it instead of failing recovery outright.
+    """
+
+    def __init__(self, directory: str | Path, keep: int = 3) -> None:
+        if keep < 1:
+            raise DurabilityError("keep must be >= 1")
+        self.directory = Path(directory)
+        self.keep = keep
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, lsn: int) -> Path:
+        """The on-disk file a checkpoint at ``lsn`` lives in."""
+        return self.directory / f"checkpoint-{lsn:012d}.json"
+
+    def lsns(self) -> list[int]:
+        """LSNs of the checkpoints on disk, ascending."""
+        out = []
+        for path in self.directory.glob("checkpoint-*.json"):
+            try:
+                out.append(int(path.stem.split("-", 1)[1]))
+            except (IndexError, ValueError):
+                continue
+        return sorted(out)
+
+    def save(self, checkpoint: dict) -> Path:
+        """Write one checkpoint atomically and prune old ones."""
+        lsn = int(checkpoint["lsn"])
+        body = _canonical(checkpoint)
+        envelope = {"crc": zlib.crc32(body.encode("utf-8")), "checkpoint": checkpoint}
+        path = self.path_for(lsn)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(envelope, fh, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(self.directory)
+        for old in self.lsns()[: -self.keep]:
+            self.path_for(old).unlink(missing_ok=True)
+        return path
+
+    def load(self, lsn: int) -> dict | None:
+        """One checkpoint by LSN; ``None`` if missing or corrupt."""
+        path = self.path_for(lsn)
+        if not path.exists():
+            return None
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+            checkpoint = envelope["checkpoint"]
+            body = _canonical(checkpoint)
+            if zlib.crc32(body.encode("utf-8")) != int(envelope["crc"]):
+                return None
+            return checkpoint
+        except (ValueError, KeyError, TypeError):
+            return None
+
+    def load_latest(self) -> dict | None:
+        """The newest checkpoint that passes its CRC self-check."""
+        for lsn in reversed(self.lsns()):
+            checkpoint = self.load(lsn)
+            if checkpoint is not None:
+                return checkpoint
+        return None
+
+
+# ----------------------------------------------------------------------
+# Manifests
+# ----------------------------------------------------------------------
+def _write_manifest(directory: Path, manifest: dict) -> None:
+    path = directory / MANIFEST_NAME
+    if path.exists():
+        return  # manifests are immutable once written
+    tmp = path.with_suffix(".tmp")
+    with tmp.open("w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(directory)
+
+
+def read_manifest(directory: str | Path) -> dict:
+    """The recovery manifest at ``directory`` (raises if absent/corrupt)."""
+    path = Path(directory) / MANIFEST_NAME
+    if not path.exists():
+        raise DurabilityError(f"no {MANIFEST_NAME} in {directory}")
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise DurabilityError(f"corrupt manifest {path}: {exc}") from exc
+
+
+def _switch_spec_dict(spec) -> dict:
+    return {
+        "stages": spec.stages,
+        "blocks_per_stage": spec.blocks_per_stage,
+        "block_bits": spec.block_bits,
+        "rule_bits": spec.rule_bits,
+        "capacity_gbps": spec.capacity_gbps,
+        "stage_latency_ns": spec.stage_latency_ns,
+        "recirculation_latency_ns": spec.recirculation_latency_ns,
+    }
+
+
+def _policy_dict(policy) -> dict:
+    return {
+        "max_tenants": policy.max_tenants,
+        "check_memory": policy.check_memory,
+        "check_backplane": policy.check_backplane,
+    }
+
+
+def controller_manifest(controller: "SfcController") -> dict:
+    """Everything needed to reconstruct an equivalent empty controller."""
+    return {
+        "kind": "controller",
+        "version": CHECKPOINT_VERSION,
+        "name": controller.name,
+        "switch": _switch_spec_dict(controller.base.switch),
+        "num_types": controller.base.num_types,
+        "max_recirculations": controller.base.max_recirculations,
+        "consolidate": controller.consolidate,
+        "reserve_physical_block": controller.reserve_physical_block,
+        "reconfigure_threshold": controller.reconfigure_threshold,
+        "with_dataplane": controller.with_dataplane,
+        "policy": _policy_dict(controller.policy),
+    }
+
+
+def fabric_manifest(fabric: "FabricOrchestrator", partitioner_name: str) -> dict:
+    """Everything needed to reconstruct an equivalent empty fabric."""
+    return {
+        "kind": "fabric",
+        "version": CHECKPOINT_VERSION,
+        "num_types": fabric.num_types,
+        "partitioner": partitioner_name,
+        "with_dataplane": fabric.with_dataplane,
+        "nodes": [
+            {
+                "name": node.name,
+                "spec": _switch_spec_dict(node.spec),
+                "max_recirculations": node.max_recirculations,
+            }
+            for node in (
+                fabric.topology.nodes[n] for n in fabric.topology.switch_names
+            )
+        ],
+        "links": [
+            {"a": link.a, "b": link.b, "capacity_gbps": link.capacity_gbps}
+            for link in (fabric.topology.links[k] for k in sorted(fabric.topology.links))
+        ],
+        "policy": _policy_dict(next(iter(fabric.shards.values())).policy),
+        "consolidate": next(iter(fabric.shards.values())).consolidate,
+        "reserve_physical_block": next(
+            iter(fabric.shards.values())
+        ).reserve_physical_block,
+    }
+
+
+def _partitioner_name(partitioner) -> str:
+    from repro.fabric.partitioner import PARTITIONERS
+
+    for name, cls in PARTITIONERS.items():
+        if type(partitioner) is cls:
+            return name
+    raise DurabilityError(
+        f"partitioner {type(partitioner).__name__} is not in the registry; "
+        f"durable fabrics need a registered partitioner "
+        f"(choices: {sorted(PARTITIONERS)})"
+    )
+
+
+# ----------------------------------------------------------------------
+# Attach-side coordinators
+# ----------------------------------------------------------------------
+class ShardWalLogger:
+    """The per-switch WAL shard: journals one fabric shard controller's ops
+    (no self-checkpointing — the fabric checkpoint supersedes it and the
+    fabric coordinator compacts it)."""
+
+    def __init__(self, wal: WriteAheadLog) -> None:
+        self.wal = wal
+
+    def commit_op(self, controller: "SfcController", op: str, data: dict):
+        """Append the op to this shard's audit log (same duck type as
+        :class:`ControllerDurability`, so shard controllers need no special
+        casing)."""
+        return self.wal.append(op, data)
+
+
+class ControllerDurability:
+    """Durability coordinator for one standalone :class:`SfcController`:
+    a manifest, one WAL, and a checkpoint store in one directory."""
+
+    WAL_NAME = "wal.jsonl"
+
+    def __init__(
+        self,
+        directory: str | Path,
+        fsync: str = "always",
+        batch_every: int = 64,
+        checkpoint_every: int = 256,
+        keep_checkpoints: int = 3,
+        fault_hook=None,
+    ) -> None:
+        """``checkpoint_every`` committed ops between automatic checkpoints
+        (0 = only explicit :meth:`checkpoint` calls)."""
+        if checkpoint_every < 0:
+            raise DurabilityError("checkpoint_every must be >= 0")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.wal = WriteAheadLog(
+            self.directory / self.WAL_NAME,
+            fsync=fsync,
+            batch_every=batch_every,
+            fault_hook=fault_hook,
+        )
+        self.store = CheckpointStore(self.directory, keep=keep_checkpoints)
+        self.checkpoint_every = checkpoint_every
+        self.checkpoints_taken = 0
+        self._ops_since_checkpoint = 0
+
+    def attach(self, controller: "SfcController") -> "ControllerDurability":
+        """Bind to ``controller``: write the manifest (first attach only)
+        and start journaling its committed ops."""
+        _write_manifest(self.directory, controller_manifest(controller))
+        controller.durability = self
+        return self
+
+    def commit_op(self, controller: "SfcController", op: str, data: dict):
+        """Journal one committed op; auto-checkpoint on the policy cadence."""
+        record = self.wal.append(op, data)
+        self._ops_since_checkpoint += 1
+        if self.checkpoint_every and self._ops_since_checkpoint >= self.checkpoint_every:
+            self.checkpoint(controller)
+        return record
+
+    def checkpoint(self, controller: "SfcController") -> dict:
+        """Snapshot now, then compact the log up to the checkpoint LSN."""
+        self.wal.sync()
+        checkpoint = controller_checkpoint(controller, self.wal.last_lsn)
+        self.store.save(checkpoint)
+        self.wal.compact(upto_lsn=checkpoint["lsn"])
+        self.checkpoints_taken += 1
+        self._ops_since_checkpoint = 0
+        return checkpoint
+
+    def close(self) -> None:
+        """Clean shutdown: flush + fsync + close the journal."""
+        self.wal.close()
+
+    def abort(self) -> None:
+        """Simulated process death (fault harness): drop handles without
+        the clean-shutdown fsync."""
+        self.wal.abort()
+
+
+class FabricDurability:
+    """Durability coordinator for a :class:`FabricOrchestrator`: the fabric
+    manifest log plus one WAL shard per switch, and fabric-wide checkpoints
+    that compact all of them."""
+
+    WAL_NAME = "fabric.wal.jsonl"
+    SHARD_DIR = "shards"
+
+    def __init__(
+        self,
+        directory: str | Path,
+        fsync: str = "always",
+        batch_every: int = 64,
+        checkpoint_every: int = 256,
+        keep_checkpoints: int = 3,
+        fault_hook=None,
+    ) -> None:
+        if checkpoint_every < 0:
+            raise DurabilityError("checkpoint_every must be >= 0")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.batch_every = batch_every
+        self.fault_hook = fault_hook
+        self.wal = WriteAheadLog(
+            self.directory / self.WAL_NAME,
+            fsync=fsync,
+            batch_every=batch_every,
+            fault_hook=fault_hook,
+        )
+        self.store = CheckpointStore(self.directory, keep=keep_checkpoints)
+        self.checkpoint_every = checkpoint_every
+        self.checkpoints_taken = 0
+        self._ops_since_checkpoint = 0
+        self.shard_wals: dict[str, WriteAheadLog] = {}
+
+    def shard_wal_path(self, switch: str) -> Path:
+        """The per-switch audit WAL file for ``switch``."""
+        return self.directory / self.SHARD_DIR / f"{switch}.wal.jsonl"
+
+    def attach(self, fabric: "FabricOrchestrator") -> "FabricDurability":
+        """Bind to ``fabric``: write the manifest (first attach only), open
+        one WAL shard per switch, and start journaling."""
+        _write_manifest(
+            self.directory,
+            fabric_manifest(fabric, _partitioner_name(fabric.partitioner)),
+        )
+        for name, shard in fabric.shards.items():
+            wal = self.shard_wals.get(name)
+            if wal is None:
+                wal = self.shard_wals[name] = WriteAheadLog(
+                    self.shard_wal_path(name),
+                    fsync=self.fsync,
+                    batch_every=self.batch_every,
+                    fault_hook=self.fault_hook,
+                )
+            shard.durability = ShardWalLogger(wal)
+        fabric.durability = self
+        return self
+
+    def commit_op(self, fabric: "FabricOrchestrator", op: str, data: dict):
+        """Journal one committed fabric op; auto-checkpoint on cadence."""
+        record = self.wal.append(op, data)
+        self._ops_since_checkpoint += 1
+        if self.checkpoint_every and self._ops_since_checkpoint >= self.checkpoint_every:
+            self.checkpoint(fabric)
+        return record
+
+    def checkpoint(self, fabric: "FabricOrchestrator") -> dict:
+        """Snapshot the whole fabric, then compact the manifest log up to
+        the checkpoint LSN and the (superseded) shard WALs entirely."""
+        self.wal.sync()
+        checkpoint = fabric_checkpoint(fabric, self.wal.last_lsn)
+        self.store.save(checkpoint)
+        self.wal.compact(upto_lsn=checkpoint["lsn"])
+        for wal in self.shard_wals.values():
+            wal.sync()
+            wal.compact(upto_lsn=wal.last_lsn)
+        self.checkpoints_taken += 1
+        self._ops_since_checkpoint = 0
+        return checkpoint
+
+    def close(self) -> None:
+        """Clean shutdown: flush + fsync + close the fabric and shard logs."""
+        self.wal.close()
+        for wal in self.shard_wals.values():
+            wal.close()
+
+    def abort(self) -> None:
+        """Simulated process death (fault harness)."""
+        self.wal.abort()
+        for wal in self.shard_wals.values():
+            wal.abort()

@@ -48,3 +48,8 @@ class PlacementError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised on invalid workload-generator parameters."""
+
+
+class DurabilityError(ReproError):
+    """Raised on write-ahead-log / checkpoint / recovery failures (corrupt
+    manifests, incompatible checkpoints, unrecoverable log state)."""

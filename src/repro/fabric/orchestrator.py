@@ -35,7 +35,7 @@ import numpy as np
 from repro.controller.admission import AdmissionPolicy
 from repro.controller.controller import OpResult, RuleFactory, SfcController
 from repro.core.spec import SFC, ProblemInstance
-from repro.core.state import LinkState, PipelineState
+from repro.core.state import LinkState, PipelineState, stable_digest
 from repro.errors import PlacementError
 from repro.fabric.partitioner import ConsistentHashPartitioner, Partitioner
 from repro.fabric.stitching import StitchPlan, plan_stitch
@@ -181,6 +181,12 @@ class FabricOrchestrator:
         self.tenants: dict[int, FabricTenant] = {}
         self.drained: set[str] = set()
         self.metrics = MetricsRegistry()
+        #: Optional durability coordinator (:class:`~repro.durability.
+        #: checkpoint.FabricDurability`), set by ``attach()``.  Every
+        #: successful fabric op is journaled to the fabric manifest log —
+        #: the authoritative redo log recovery replays — while each shard
+        #: additionally journals its own ops to a per-switch WAL shard.
+        self.durability = None
 
     # ------------------------------------------------------------------
     # Views
@@ -193,6 +199,39 @@ class FabricOrchestrator:
     def metrics_snapshot(self) -> dict:
         """Current fabric metrics as one plain dict."""
         return self.metrics.snapshot()
+
+    def digest(self) -> str:
+        """Stable blake2b digest of the whole fabric: every shard's state
+        digest, every link's load digest, the tenant directory (chains,
+        segments, link charges) and the drained set.  Bit-identical fabric
+        states — and only those — hash equal; this is the quantity the
+        durability subsystem journals per LSN and recovery must reproduce.
+        """
+        return stable_digest(
+            {
+                "shards": {
+                    name: self.shards[name].state.digest()
+                    for name in self.topology.switch_names
+                },
+                "links": {
+                    f"{a}-{b}": self.links[(a, b)].digest()
+                    for a, b in sorted(self.links)
+                },
+                "tenants": [
+                    {
+                        "tenant_id": t,
+                        "sfc": self.tenants[t].sfc.to_dict(),
+                        "segments": [
+                            [seg.switch, seg.start, seg.stop, list(seg.stages)]
+                            for seg in self.tenants[t].segments
+                        ],
+                        "links": [list(key) for key in self.tenants[t].links],
+                    }
+                    for t in sorted(self.tenants)
+                ],
+                "drained": sorted(self.drained),
+            }
+        )
 
     def summary(self) -> dict:
         """Aggregate fabric state as one JSON-native dict: per-switch
@@ -252,6 +291,15 @@ class FabricOrchestrator:
             stitched=result.stitched,
             reason=result.reason,
         )
+
+    def _commit_durable(self, op: str, data: dict) -> None:
+        """Journal one successful fabric op (plus the post-op fabric digest
+        — recovery's per-LSN oracle) to the attached coordinator."""
+        if self.durability is None:
+            return
+        payload = dict(data)
+        payload["digest"] = self.digest()
+        self.durability.commit_op(self, op, payload)
 
     def _refresh_gauges(self) -> None:
         self.metrics.gauge("tenants").set(len(self.tenants))
@@ -409,6 +457,10 @@ class FabricOrchestrator:
                 stitched=result.stitched,
             )
         self._record_op(result)
+        if result.ok:
+            self._commit_durable(
+                "admit", {"tenant_id": sfc.tenant_id, "sfc": sfc.to_dict()}
+            )
         return result
 
     def _admit(self, sfc: SFC, timer: Timer) -> FabricOpResult:
@@ -431,6 +483,8 @@ class FabricOrchestrator:
             result = self._evict(tenant_id, timer)
             span.set(ok=result.ok, switches=list(result.switches))
         self._record_op(result)
+        if result.ok:
+            self._commit_durable("evict", {"tenant_id": tenant_id})
         return result
 
     def _evict(self, tenant_id: int, timer: Timer) -> FabricOpResult:
@@ -466,6 +520,19 @@ class FabricOrchestrator:
             result = self._modify(tenant_id, new_chain, timer)
             span.set(ok=result.ok, hitless=result.hitless)
         self._record_op(result)
+        # Failed modifies are journaled too (unless trivially rejected):
+        # a refused re-home still evicts + re-places the old chain, which
+        # can land the tenant on different switches — a state change replay
+        # must re-drive.
+        if result.ok or result.reason != "unknown-tenant":
+            self._commit_durable(
+                "modify",
+                {
+                    "tenant_id": tenant_id,
+                    "sfc": new_chain.to_dict(),
+                    "ok": result.ok,
+                },
+            )
         return result
 
     def _modify(
@@ -566,6 +633,10 @@ class FabricOrchestrator:
             self.recorder.snap(
                 "drain-evicted-tenants", switch=switch, evicted=list(evicted)
             )
+        self._commit_durable(
+            "drain",
+            {"switch": switch, "rehomed": list(rehomed), "evicted": list(evicted)},
+        )
         return DrainReport(
             switch=switch, rehomed=tuple(rehomed), evicted=tuple(evicted)
         )
@@ -576,6 +647,7 @@ class FabricOrchestrator:
         if switch not in self.shards:
             raise PlacementError(f"unknown switch {switch!r}")
         self.drained.discard(switch)
+        self._commit_durable("undrain", {"switch": switch})
 
     # ------------------------------------------------------------------
     # Verification
@@ -643,6 +715,11 @@ class FabricOrchestrator:
                     f"{name}: backplane {shard.state.backplane_gbps!r} != "
                     f"recomputed {reference.backplane_gbps!r}"
                 )
+            if shard.state.digest() != reference.digest():
+                problems.append(
+                    f"{name}: state digest {shard.state.digest()} != "
+                    f"recomputed {reference.digest()}"
+                )
             expected_tenants = {
                 tenant_id
                 for tenant_id, record in self.tenants.items()
@@ -670,7 +747,8 @@ class FabricOrchestrator:
             if self.links[key].load_gbps != expected_loads[key]:
                 problems.append(
                     f"link {key}: load {self.links[key].load_gbps!r} != "
-                    f"recomputed {expected_loads[key]!r}"
+                    f"recomputed {expected_loads[key]!r} "
+                    f"(digest {self.links[key].digest()})"
                 )
         for name in sorted(self.drained):
             shard = self.shards[name]

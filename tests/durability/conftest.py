@@ -1,0 +1,86 @@
+"""Shared fixtures for the durability suite: tiny switches, deterministic
+chains, and churn streams sized for crash-sweep runs."""
+
+import pytest
+
+from repro.controller import ChurnConfig, SfcController
+from repro.core.spec import SFC, ProblemInstance, SwitchSpec
+from repro.fabric import FabricOrchestrator, FabricTopology
+from repro.traffic.workload import WorkloadConfig
+
+#: The 300+-event stream the fault sweep replays (kept module-level so the
+#: oracle run and every crash run draw the identical stream).
+SWEEP_CHURN = ChurnConfig(
+    duration_s=20.0,
+    arrival_rate_per_s=10.0,
+    mean_lifetime_s=4.0,
+    modify_fraction=0.25,
+    workload=WorkloadConfig(
+        num_sfcs=0, num_types=6, avg_chain_length=3, chain_length_spread=2,
+        rules_min=1, rules_max=4, mean_bandwidth_gbps=1.0,
+        max_bandwidth_gbps=4.0,
+    ),
+)
+
+SWEEP_SEED = 20260806
+
+
+@pytest.fixture
+def tiny_spec() -> SwitchSpec:
+    """3 stages x 4 blocks of 100 entries, 10 Gbps backplane."""
+    return SwitchSpec(
+        stages=3,
+        blocks_per_stage=4,
+        block_bits=6400,
+        rule_bits=64,
+        capacity_gbps=10.0,
+    )
+
+
+@pytest.fixture
+def tiny_instance(tiny_spec) -> ProblemInstance:
+    return ProblemInstance(
+        switch=tiny_spec, sfcs=(), num_types=4, max_recirculations=1
+    )
+
+
+def chain(
+    tenant_id: int,
+    nf_types=(1, 2, 3),
+    rules=(10, 10, 10),
+    bandwidth_gbps: float = 1.0,
+) -> SFC:
+    """A small deterministic chain request for tenant ``tenant_id``."""
+    return SFC(
+        name=f"tenant-{tenant_id}",
+        nf_types=tuple(nf_types),
+        rules=tuple(rules),
+        bandwidth_gbps=bandwidth_gbps,
+        tenant_id=tenant_id,
+    )
+
+
+def make_controller(
+    tiny_instance: ProblemInstance, with_dataplane: bool = False, **kwargs
+) -> SfcController:
+    return SfcController(tiny_instance, with_dataplane=with_dataplane, **kwargs)
+
+
+def make_fabric(
+    num_switches: int = 4, with_dataplane: bool = False, **kwargs
+) -> FabricOrchestrator:
+    """A small homogeneous full-mesh fabric for sweep runs: per-switch
+    capacity low enough that churn forces spillover and real evictions."""
+    spec = SwitchSpec(
+        stages=4,
+        blocks_per_stage=6,
+        block_bits=6400,
+        rule_bits=64,
+        capacity_gbps=60.0,
+    )
+    topology = FabricTopology.full_mesh(
+        num_switches, spec=spec, link_capacity_gbps=100.0, max_recirculations=1
+    )
+    return FabricOrchestrator(
+        topology, num_types=6, with_dataplane=with_dataplane, **kwargs
+    )

@@ -141,6 +141,69 @@ def test_metrics_writes_file(capsys, tmp_path):
     assert "sfp_admitted_total" in out_file.read_text()
 
 
+def test_controller_journals_then_recovers(capsys, tmp_path):
+    wal_dir = tmp_path / "durability"
+    code = main([
+        "controller", "--quick", "--seed", "7", "--wal-dir", str(wal_dir),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert f"journaling to {wal_dir}" in out
+    assert (wal_dir / "wal.jsonl").exists()
+
+    code = main(["recover", str(wal_dir)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "recovered controller:" in out
+    assert "— ok" in out
+    assert "live tenants:" in out
+    assert "state digest:" in out
+
+
+def test_checkpoint_compacts_the_wal(capsys, tmp_path):
+    wal_dir = tmp_path / "durability"
+    assert main([
+        "controller", "--quick", "--seed", "7", "--wal-dir", str(wal_dir),
+    ]) == 0
+    capsys.readouterr()
+
+    code = main(["checkpoint", str(wal_dir)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "checkpointed controller at lsn" in out
+    assert "checkpoints on disk:" in out
+    # Recovery's post-verify checkpoint compacts the journal down to zero
+    # records past the checkpoint LSN.
+    assert "wal: 0 records past lsn" in out
+
+
+def test_fabric_journals_then_recovers(capsys, tmp_path):
+    wal_dir = tmp_path / "durability"
+    code = main([
+        "fabric", "--quick", "--seed", "7", "--switches", "3",
+        "--wal-dir", str(wal_dir), "--no-dataplane",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert f"journaling to {wal_dir}" in out
+    assert (wal_dir / "fabric.wal.jsonl").exists()
+    assert (wal_dir / "shards").is_dir()
+
+    code = main(["recover", str(wal_dir)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "recovered fabric:" in out
+    assert "— ok" in out
+    assert "fabric invariant: OK" in out
+
+
+def test_recover_rejects_a_directory_without_a_manifest(tmp_path):
+    from repro.errors import DurabilityError
+
+    with pytest.raises(DurabilityError, match="no .* in"):
+        main(["recover", str(tmp_path / "nowhere")])
+
+
 def test_fig5_quick(capsys):
     assert main(["fig5", "--quick", "--seed", "1"]) == 0
     out = capsys.readouterr().out
