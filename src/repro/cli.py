@@ -12,7 +12,10 @@ causally linked span tree plus an INT-style packet postcard; ``sfp
 metrics`` replays churn with sampled telemetry and renders the registry in
 Prometheus text format; ``sfp recover`` rebuilds a controller or fabric
 from a durability directory (``--wal-dir`` on churn runs) and ``sfp
-checkpoint`` snapshots + compacts one.  ``--quick`` shrinks the
+checkpoint`` snapshots + compacts one.  ``sfp scenario`` lists, compiles
+or replays the declarative campaign library (diurnal curves, flash
+crowds, correlated failures, rolling upgrades ...) with a fabric
+bit-identity audit at every phase boundary.  ``--quick`` shrinks the
 paper-scale sweeps to seconds.
 """
 
@@ -335,6 +338,63 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        campaign_names,
+        compile_scenario,
+        get_campaign,
+        load_spec,
+        run_campaign,
+        save_campaign,
+    )
+
+    if args.action == "list":
+        for name in campaign_names():
+            spec = get_campaign(name)
+            print(
+                f"{name:>20}: {len(spec.phases)} phases over "
+                f"{spec.duration_s:.0f}s (seed {spec.seed}) — "
+                f"{spec.description}"
+            )
+        return 0
+    if args.spec_file:
+        spec = load_spec(args.spec_file)
+    elif args.name:
+        spec = get_campaign(args.name)
+    else:
+        print(
+            "scenario run/compile needs a campaign NAME or --spec FILE",
+            file=sys.stderr,
+        )
+        return 2
+    if args.smoke:
+        spec = spec.shrunk(0.2)
+    if args.action == "compile":
+        campaign = compile_scenario(spec, args.seed)
+        out = args.out or f"{spec.name}.jsonl"
+        save_campaign(out, campaign)
+        print(
+            f"wrote {campaign.num_events} events to {out} "
+            f"(trace {campaign.digest()})"
+        )
+        return 0
+    if args.wal_dir:
+        print(f"journaling to {args.wal_dir} (fsync={args.fsync})")
+    fabric, report = run_campaign(
+        spec,
+        seed=args.seed,
+        with_dataplane=args.dataplane,
+        wal_dir=args.wal_dir,
+        fsync=args.fsync,
+        partitioner=args.partitioner,
+    )
+    print(report.describe())
+    summary = fabric.summary()
+    print(f"live tenants: {summary['tenants']} "
+          f"({summary['stitched_tenants']} stitched across switches)")
+    return 0 if report.ok else 1
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.experiments.fig4_throughput import build_demo_pipeline
     from repro.traffic.flows import FlowGenerator
@@ -509,7 +569,8 @@ def main(argv: list[str] | None = None) -> int:
         "--switches", type=int, default=4, help="number of fabric switches"
     )
     p.add_argument(
-        "--partitioner", choices=("hash", "least-backplane"), default="hash",
+        "--partitioner",
+        choices=("hash", "least-backplane", "modulo"), default="hash",
         help="tenant->switch routing strategy",
     )
     p.add_argument(
@@ -575,6 +636,54 @@ def main(argv: list[str] | None = None) -> int:
         help="recover control-plane only, regardless of the journaled mode",
     )
     p.set_defaults(func=_cmd_checkpoint)
+
+    p = sub.add_parser(
+        "scenario",
+        help="list, compile or replay declarative campaign scenarios with "
+             "phase-boundary fabric audits",
+    )
+    p.add_argument(
+        "action", choices=("list", "run", "compile"),
+        help="list the campaign library, replay a campaign against a "
+             "fabric, or compile one to a JSONL event trace",
+    )
+    p.add_argument(
+        "name", nargs="?", default=None,
+        help="library campaign name (see `sfp scenario list`)",
+    )
+    p.add_argument(
+        "--spec", dest="spec_file", default=None, metavar="FILE",
+        help="load the scenario from a JSON/YAML spec file instead of "
+             "the library",
+    )
+    p.add_argument("--seed", type=int, default=None, help="RNG seed override")
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="time-shrunk replay (5x shorter phases) for CI",
+    )
+    p.add_argument(
+        "--dataplane", action="store_true",
+        help="mirror installs into behavioural pipelines (~10x slower)",
+    )
+    p.add_argument(
+        "--partitioner",
+        choices=("hash", "least-backplane", "modulo"), default=None,
+        help="override the spec's tenant->switch routing strategy",
+    )
+    p.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="journal every committed fabric op to a write-ahead log in "
+             "DIR (recover later with `sfp recover DIR`)",
+    )
+    p.add_argument(
+        "--fsync", choices=("always", "batch", "off"), default="batch",
+        help="WAL fsync policy when --wal-dir is set",
+    )
+    p.add_argument(
+        "-o", "--out", default=None, metavar="OUT",
+        help="output path for `compile` (default: <campaign>.jsonl)",
+    )
+    p.set_defaults(func=_cmd_scenario)
 
     p = sub.add_parser("demo", help="trace a packet through a virtualized chain")
     _add_common(p)

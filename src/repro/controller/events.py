@@ -237,6 +237,19 @@ class ChurnReport:
     results: list[tuple[ChurnEvent, OpResult]] = field(default_factory=list)
     wall_seconds: float = 0.0
 
+    @classmethod
+    def merged(cls, reports: Iterable["ChurnReport"]) -> "ChurnReport":
+        """One combined report over several replays: results concatenated
+        in order, wall times summed.  The campaign runner uses this to
+        aggregate per-phase reports into one campaign-wide view while
+        keeping the PR-3 convention intact (zero successful admits across
+        *all* phases still yields explicit ``None`` percentiles)."""
+        out = cls()
+        for report in reports:
+            out.results.extend(report.results)
+            out.wall_seconds += report.wall_seconds
+        return out
+
     @property
     def num_events(self) -> int:
         """Events replayed."""

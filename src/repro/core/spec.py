@@ -195,6 +195,32 @@ class SwitchSpec:
             raise PlacementError(f"negative entry count {entries}")
         return math.ceil(entries / self.entries_per_block)
 
+    def to_dict(self) -> dict:
+        """JSON-native form — the shape shared by durability manifests and
+        scenario topology specs."""
+        return {
+            "stages": self.stages,
+            "blocks_per_stage": self.blocks_per_stage,
+            "block_bits": self.block_bits,
+            "rule_bits": self.rule_bits,
+            "capacity_gbps": self.capacity_gbps,
+            "stage_latency_ns": self.stage_latency_ns,
+            "recirculation_latency_ns": self.recirculation_latency_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "SwitchSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            stages=int(record["stages"]),
+            blocks_per_stage=int(record["blocks_per_stage"]),
+            block_bits=int(record["block_bits"]),
+            rule_bits=int(record["rule_bits"]),
+            capacity_gbps=float(record["capacity_gbps"]),
+            stage_latency_ns=float(record["stage_latency_ns"]),
+            recirculation_latency_ns=float(record["recirculation_latency_ns"]),
+        )
+
 
 @dataclass(frozen=True)
 class ProblemInstance:

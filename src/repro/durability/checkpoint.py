@@ -298,15 +298,7 @@ def read_manifest(directory: str | Path) -> dict:
 
 
 def _switch_spec_dict(spec) -> dict:
-    return {
-        "stages": spec.stages,
-        "blocks_per_stage": spec.blocks_per_stage,
-        "block_bits": spec.block_bits,
-        "rule_bits": spec.rule_bits,
-        "capacity_gbps": spec.capacity_gbps,
-        "stage_latency_ns": spec.stage_latency_ns,
-        "recirculation_latency_ns": spec.recirculation_latency_ns,
-    }
+    return spec.to_dict()
 
 
 def _policy_dict(policy) -> dict:

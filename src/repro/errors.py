@@ -53,3 +53,8 @@ class WorkloadError(ReproError):
 class DurabilityError(ReproError):
     """Raised on write-ahead-log / checkpoint / recovery failures (corrupt
     manifests, incompatible checkpoints, unrecoverable log state)."""
+
+
+class ScenarioError(ReproError):
+    """Raised on invalid scenario/campaign specs (malformed load curves,
+    fault schedules referencing unknown switches, unparseable spec files)."""

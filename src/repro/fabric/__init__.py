@@ -19,6 +19,7 @@ from repro.fabric.partitioner import (
     PARTITIONERS,
     ConsistentHashPartitioner,
     LeastBackplanePartitioner,
+    ModuloPartitioner,
     Partitioner,
     make_partitioner,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "FabricTopology",
     "LeastBackplanePartitioner",
     "LinkKey",
+    "ModuloPartitioner",
     "Partitioner",
     "Segment",
     "StitchPlan",

@@ -104,10 +104,29 @@ class LeastBackplanePartitioner:
         return sorted(fabric.active_switches, key=lambda n: (utilization(n), n))
 
 
+class ModuloPartitioner:
+    """Round-robin-by-id preference order: the tenant's home shard is
+    ``active[tenant_id % N]`` and spillover walks the remaining active
+    switches in ring order.  The order is a pure O(N) function of
+    ``(tenant_id, active switch set)`` with no hashing and no per-switch
+    load reads — the strategy the million-tenant scale harness
+    (:mod:`repro.scenarios.scale`) mirrors exactly, so fabric-vs-scale
+    differential tests can compare placement decisions one to one."""
+
+    def order(self, sfc: SFC, fabric: "FabricOrchestrator") -> list[str]:
+        """Active switches starting at ``tenant_id % N``, ring order."""
+        names = fabric.active_switches
+        if not names:
+            return []
+        start = sfc.tenant_id % len(names)
+        return names[start:] + names[:start]
+
+
 #: Registry for the CLI / benchmarks (``--partitioner`` choices).
 PARTITIONERS = {
     "hash": ConsistentHashPartitioner,
     "least-backplane": LeastBackplanePartitioner,
+    "modulo": ModuloPartitioner,
 }
 
 

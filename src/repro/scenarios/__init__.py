@@ -1,0 +1,82 @@
+"""Declarative scenario campaigns + the million-tenant scale harness.
+
+This package turns hand-written campaign specs into deterministic seeded
+event streams that drive the real multi-switch fabric:
+
+``repro.scenarios.dsl``
+    The declarative spec layer — :class:`ScenarioSpec` (phases, load
+    curves, fault schedules, burst-modify schedules) with exact
+    JSON/YAML round-tripping.
+``repro.scenarios.compile``
+    Spec → stream compiler: a seeded, totally ordered
+    :class:`ScenarioEvent` list with a byte-stable trace digest and JSONL
+    save/load.
+``repro.scenarios.runner``
+    Replays a compiled campaign against a :class:`~repro.fabric.
+    orchestrator.FabricOrchestrator` (drains, undrains and lifecycle
+    events alike), checking the fabric bit-identity invariant at every
+    phase boundary and reporting per-phase + campaign-wide summaries.
+``repro.scenarios.library``
+    Production-shaped campaign library (diurnal, flash crowd, correlated
+    failures at peak, rolling upgrade, noisy neighbor, burst modifies).
+``repro.scenarios.scale``
+    Capacity-planning scale mode: a slim columnar fabric model that
+    replicates the greedy placement walk exactly but holds per-tenant
+    state in a few numpy rows, reaching 10^5-10^6 tenants.
+"""
+
+from repro.scenarios.compile import (
+    CompiledCampaign,
+    ScenarioEvent,
+    compile_scenario,
+    load_campaign,
+    save_campaign,
+    trace_digest,
+)
+from repro.scenarios.dsl import (
+    FaultAction,
+    LoadCurve,
+    ModifyBurst,
+    PhaseSpec,
+    ScenarioSpec,
+    TopologySpec,
+    load_spec,
+    save_spec,
+)
+from repro.scenarios.library import CAMPAIGNS, campaign_names, get_campaign
+from repro.scenarios.runner import (
+    CampaignReport,
+    PhaseReport,
+    ScenarioRunner,
+    build_fabric,
+    run_campaign,
+)
+from repro.scenarios.scale import FillReport, ScaleFabric, run_fill
+
+__all__ = [
+    "CAMPAIGNS",
+    "CampaignReport",
+    "CompiledCampaign",
+    "FaultAction",
+    "FillReport",
+    "LoadCurve",
+    "ModifyBurst",
+    "PhaseReport",
+    "PhaseSpec",
+    "ScaleFabric",
+    "ScenarioEvent",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "TopologySpec",
+    "build_fabric",
+    "campaign_names",
+    "compile_scenario",
+    "get_campaign",
+    "load_campaign",
+    "load_spec",
+    "run_campaign",
+    "run_fill",
+    "save_campaign",
+    "save_spec",
+    "trace_digest",
+]

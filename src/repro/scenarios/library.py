@@ -1,0 +1,367 @@
+"""The production-shaped campaign library.
+
+Seven seeded campaigns, each a :class:`~repro.scenarios.dsl.ScenarioSpec`
+over a small, deliberately tight 4-switch fabric (low per-stage SRAM and
+backplane so churn actually produces spillover, stitching and rejections):
+
+* ``steady-state`` — constant-rate baseline with a warmup and cooldown.
+* ``diurnal`` — a day compressed: quiet night, morning ramp, sinusoidal
+  peak hours, evening ramp-down.
+* ``flash-crowd`` — a viral spike: short-lived tenants arrive at ~7x the
+  baseline rate for a third of the crowd phase.
+* ``correlated-failure`` — two switches drained back-to-back at peak load
+  (the fault-at-peak drill), then undrained during recovery.
+* ``rolling-upgrade`` — a serial fleet upgrade: each switch drained at the
+  start of its phase and undrained near the end, under background churn.
+* ``noisy-neighbor`` — a rule-churn storm: heavy-rule chains renegotiated
+  at a 90% modify mix while the rest of the fleet runs normally.
+* ``burst-modify`` — synchronized modify storms: half the live tenants
+  re-negotiate at three scheduled instants.
+
+Every campaign is registered in :data:`CAMPAIGNS` under its name; the
+acceptance suite replays each one and asserts the fabric bit-identity
+invariant at every phase boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.spec import SwitchSpec
+from repro.errors import ScenarioError
+from repro.scenarios.dsl import (
+    FaultAction,
+    LoadCurve,
+    ModifyBurst,
+    PhaseSpec,
+    ScenarioSpec,
+    TopologySpec,
+)
+from repro.traffic.workload import WorkloadConfig
+
+#: The library's per-switch spec: 4 stages x 6 blocks of 100 entries and a
+#: 60 Gbps backplane — small enough that tens of tenants fill a switch.
+CAMPAIGN_SWITCH = SwitchSpec(
+    stages=4,
+    blocks_per_stage=6,
+    block_bits=6400,
+    rule_bits=64,
+    capacity_gbps=60.0,
+)
+
+#: The library's default 4-switch full mesh (R=1, so K=8 virtual stages).
+CAMPAIGN_TOPOLOGY = TopologySpec(
+    kind="full_mesh",
+    num_switches=4,
+    switch=CAMPAIGN_SWITCH,
+    max_recirculations=1,
+    link_capacity_gbps=100.0,
+)
+
+#: The library's chain workload: short chains, 1-4 blocks-worth of rules,
+#: sub-4 Gbps demands (the durability sweep's proven churn mix).
+CAMPAIGN_WORKLOAD = WorkloadConfig(
+    num_sfcs=0,
+    num_types=6,
+    avg_chain_length=3,
+    chain_length_spread=2,
+    rules_min=1,
+    rules_max=4,
+    mean_bandwidth_gbps=1.0,
+    max_bandwidth_gbps=4.0,
+)
+
+
+def _steady_state() -> ScenarioSpec:
+    """Constant-rate baseline: warmup, a long steady plateau, cooldown."""
+    return ScenarioSpec(
+        name="steady-state",
+        description="constant-rate baseline with warmup and cooldown",
+        seed=1101,
+        topology=CAMPAIGN_TOPOLOGY,
+        workload=CAMPAIGN_WORKLOAD,
+        phases=(
+            PhaseSpec(
+                name="warmup",
+                duration_s=20.0,
+                load=LoadCurve(kind="constant", rate_per_s=4.0),
+                mean_lifetime_s=10.0,
+            ),
+            PhaseSpec(
+                name="steady",
+                duration_s=60.0,
+                load=LoadCurve(kind="constant", rate_per_s=8.0),
+                mean_lifetime_s=8.0,
+                modify_fraction=0.2,
+            ),
+            PhaseSpec(
+                name="cooldown",
+                duration_s=20.0,
+                load=LoadCurve(kind="constant", rate_per_s=2.0),
+                mean_lifetime_s=4.0,
+            ),
+        ),
+    )
+
+
+def _diurnal() -> ScenarioSpec:
+    """A compressed day: night trough, morning ramp, sinusoidal peak
+    hours, evening ramp-down."""
+    return ScenarioSpec(
+        name="diurnal",
+        description="diurnal load curve: night, ramp, sine peak, ramp-down",
+        seed=1102,
+        topology=CAMPAIGN_TOPOLOGY,
+        workload=CAMPAIGN_WORKLOAD,
+        phases=(
+            PhaseSpec(
+                name="night",
+                duration_s=30.0,
+                load=LoadCurve(kind="constant", rate_per_s=2.0),
+                mean_lifetime_s=15.0,
+            ),
+            PhaseSpec(
+                name="morning",
+                duration_s=30.0,
+                load=LoadCurve(kind="ramp", rate_per_s=2.0, peak_per_s=10.0),
+                mean_lifetime_s=10.0,
+                modify_fraction=0.1,
+            ),
+            PhaseSpec(
+                name="peak",
+                duration_s=40.0,
+                load=LoadCurve(
+                    kind="sine", rate_per_s=6.0, peak_per_s=12.0, period_s=20.0
+                ),
+                mean_lifetime_s=8.0,
+                modify_fraction=0.2,
+            ),
+            PhaseSpec(
+                name="evening",
+                duration_s=30.0,
+                load=LoadCurve(kind="ramp", rate_per_s=10.0, peak_per_s=2.0),
+                mean_lifetime_s=6.0,
+            ),
+        ),
+    )
+
+
+def _flash_crowd() -> ScenarioSpec:
+    """A viral event: short-lived tenants arrive at ~7x baseline for a
+    third of the crowd phase, then the fabric recovers."""
+    return ScenarioSpec(
+        name="flash-crowd",
+        description="tenant flash crowd: 7x arrival spike of short-lived chains",
+        seed=1103,
+        topology=CAMPAIGN_TOPOLOGY,
+        workload=CAMPAIGN_WORKLOAD,
+        phases=(
+            PhaseSpec(
+                name="baseline",
+                duration_s=30.0,
+                load=LoadCurve(kind="constant", rate_per_s=4.0),
+                mean_lifetime_s=10.0,
+            ),
+            PhaseSpec(
+                name="crowd",
+                duration_s=20.0,
+                load=LoadCurve(
+                    kind="spike",
+                    rate_per_s=4.0,
+                    peak_per_s=30.0,
+                    spike_start_frac=0.3,
+                    spike_width_frac=0.3,
+                ),
+                mean_lifetime_s=2.0,
+            ),
+            PhaseSpec(
+                name="recovery",
+                duration_s=30.0,
+                load=LoadCurve(kind="constant", rate_per_s=4.0),
+                mean_lifetime_s=10.0,
+                modify_fraction=0.1,
+            ),
+        ),
+    )
+
+
+def _correlated_failure() -> ScenarioSpec:
+    """The fault-at-peak drill: two of four switches drained back-to-back
+    while load is highest, undrained during recovery."""
+    return ScenarioSpec(
+        name="correlated-failure",
+        description="two switches drained back-to-back at peak load",
+        seed=1104,
+        topology=CAMPAIGN_TOPOLOGY,
+        workload=CAMPAIGN_WORKLOAD,
+        phases=(
+            PhaseSpec(
+                name="rampup",
+                duration_s=25.0,
+                load=LoadCurve(kind="ramp", rate_per_s=3.0, peak_per_s=10.0),
+                mean_lifetime_s=12.0,
+            ),
+            PhaseSpec(
+                name="peak-failure",
+                duration_s=30.0,
+                load=LoadCurve(kind="constant", rate_per_s=10.0),
+                mean_lifetime_s=10.0,
+                modify_fraction=0.15,
+                faults=(
+                    FaultAction(at_s=10.0, kind="drain", switch="sw1"),
+                    FaultAction(at_s=12.0, kind="drain", switch="sw2"),
+                ),
+            ),
+            PhaseSpec(
+                name="recovery",
+                duration_s=25.0,
+                load=LoadCurve(kind="constant", rate_per_s=6.0),
+                mean_lifetime_s=8.0,
+                faults=(
+                    FaultAction(at_s=5.0, kind="undrain", switch="sw1"),
+                    FaultAction(at_s=8.0, kind="undrain", switch="sw2"),
+                ),
+            ),
+        ),
+    )
+
+
+def _rolling_upgrade() -> ScenarioSpec:
+    """A serial fleet upgrade: every switch drained at the start of its
+    own phase and returned near the end, under steady background churn."""
+    upgrade_phases = tuple(
+        PhaseSpec(
+            name=f"upgrade-sw{i}",
+            duration_s=20.0,
+            load=LoadCurve(kind="constant", rate_per_s=5.0),
+            mean_lifetime_s=10.0,
+            modify_fraction=0.1,
+            faults=(
+                FaultAction(at_s=2.0, kind="drain", switch=f"sw{i}"),
+                FaultAction(at_s=18.0, kind="undrain", switch=f"sw{i}"),
+            ),
+        )
+        for i in range(4)
+    )
+    return ScenarioSpec(
+        name="rolling-upgrade",
+        description="serial drain/undrain of every switch under churn",
+        seed=1105,
+        topology=CAMPAIGN_TOPOLOGY,
+        workload=CAMPAIGN_WORKLOAD,
+        phases=upgrade_phases
+        + (
+            PhaseSpec(
+                name="settle",
+                duration_s=15.0,
+                load=LoadCurve(kind="constant", rate_per_s=4.0),
+                mean_lifetime_s=8.0,
+            ),
+        ),
+    )
+
+
+def _noisy_neighbor() -> ScenarioSpec:
+    """A rule-churn storm: heavy-rule chains arriving faster and
+    re-negotiating almost every lifetime, squeezing everyone's SRAM."""
+    heavy = replace(CAMPAIGN_WORKLOAD, rules_min=2, rules_max=8)
+    return ScenarioSpec(
+        name="noisy-neighbor",
+        description="rule-churn storm of heavy-rule chains (90% modify mix)",
+        seed=1106,
+        topology=CAMPAIGN_TOPOLOGY,
+        workload=heavy,
+        phases=(
+            PhaseSpec(
+                name="quiet",
+                duration_s=25.0,
+                load=LoadCurve(kind="constant", rate_per_s=4.0),
+                mean_lifetime_s=10.0,
+                modify_fraction=0.1,
+            ),
+            PhaseSpec(
+                name="storm",
+                duration_s=30.0,
+                load=LoadCurve(kind="constant", rate_per_s=8.0),
+                mean_lifetime_s=6.0,
+                modify_fraction=0.9,
+            ),
+            PhaseSpec(
+                name="calm",
+                duration_s=25.0,
+                load=LoadCurve(kind="constant", rate_per_s=4.0),
+                mean_lifetime_s=10.0,
+                modify_fraction=0.1,
+            ),
+        ),
+    )
+
+
+def _burst_modify() -> ScenarioSpec:
+    """Synchronized modify storms: at three scheduled instants, half of
+    all live tenants re-negotiate their chains at once."""
+    return ScenarioSpec(
+        name="burst-modify",
+        description="half the live tenants modify at three scheduled instants",
+        seed=1107,
+        topology=CAMPAIGN_TOPOLOGY,
+        workload=CAMPAIGN_WORKLOAD,
+        phases=(
+            PhaseSpec(
+                name="fill",
+                duration_s=20.0,
+                load=LoadCurve(kind="constant", rate_per_s=5.0),
+                mean_lifetime_s=15.0,
+            ),
+            PhaseSpec(
+                name="storms",
+                duration_s=40.0,
+                load=LoadCurve(kind="constant", rate_per_s=5.0),
+                mean_lifetime_s=12.0,
+                bursts=(
+                    ModifyBurst(at_s=10.0, fraction=0.5),
+                    ModifyBurst(at_s=20.0, fraction=0.5),
+                    ModifyBurst(at_s=30.0, fraction=0.5),
+                ),
+            ),
+            PhaseSpec(
+                name="settle",
+                duration_s=20.0,
+                load=LoadCurve(kind="constant", rate_per_s=3.0),
+                mean_lifetime_s=8.0,
+            ),
+        ),
+    )
+
+
+#: Name -> zero-argument factory for every library campaign.
+CAMPAIGNS = {
+    "steady-state": _steady_state,
+    "diurnal": _diurnal,
+    "flash-crowd": _flash_crowd,
+    "correlated-failure": _correlated_failure,
+    "rolling-upgrade": _rolling_upgrade,
+    "noisy-neighbor": _noisy_neighbor,
+    "burst-modify": _burst_modify,
+}
+
+
+def campaign_names() -> list[str]:
+    """All library campaign names, sorted."""
+    return sorted(CAMPAIGNS)
+
+
+def get_campaign(name: str) -> ScenarioSpec:
+    """The library campaign called ``name`` (a fresh spec each call)."""
+    try:
+        factory = CAMPAIGNS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown campaign {name!r}; choices: {campaign_names()}"
+        ) from None
+    spec = factory()
+    if spec.name != name:
+        raise ScenarioError(
+            f"campaign registry mismatch: {name!r} built spec {spec.name!r}"
+        )
+    return spec

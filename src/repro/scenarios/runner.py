@@ -1,0 +1,260 @@
+"""Campaign replay against the real fabric, phase by phase.
+
+:class:`ScenarioRunner` drives a :class:`~repro.fabric.orchestrator.
+FabricOrchestrator` with a compiled campaign stream: lifecycle events go
+through the normal :class:`~repro.fabric.engine.FabricChurnEngine` dispatch
+(admit / evict / modify), ``drain``/``undrain`` events call the fabric's
+failover API, and every ``phase`` marker closes the previous phase with a
+**bit-identity audit** — :meth:`FabricOrchestrator.check_invariant` plus
+the fabric digest — so each campaign asserts the paper-critical invariant
+at every phase boundary, not just at the end.
+
+Reports keep the PR-3 convention: a phase (or a whole campaign) with zero
+successful admits reports explicit ``None`` latency percentiles, never NaN.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.controller.events import ChurnReport
+from repro.errors import ScenarioError
+from repro.fabric.engine import FabricChurnEngine
+from repro.fabric.orchestrator import FabricOrchestrator
+from repro.fabric.partitioner import make_partitioner
+from repro.scenarios.compile import (
+    CompiledCampaign,
+    compile_scenario,
+)
+from repro.scenarios.dsl import ScenarioSpec
+
+
+def build_fabric(
+    spec: ScenarioSpec,
+    with_dataplane: bool = False,
+    partitioner: str | None = None,
+    **kwargs,
+) -> FabricOrchestrator:
+    """The fabric a campaign describes: topology built from the spec,
+    catalog sized to the spec's workload, partitioner from the spec (or
+    the ``partitioner`` override).  Control-plane only by default —
+    campaigns measure placement behaviour, and the behavioural data plane
+    costs ~10x wall time; pass ``with_dataplane=True`` to mirror installs.
+    Extra keyword arguments go to :class:`FabricOrchestrator`."""
+    return FabricOrchestrator(
+        spec.topology.build(),
+        num_types=spec.workload.num_types,
+        partitioner=make_partitioner(partitioner or spec.partitioner),
+        with_dataplane=with_dataplane,
+        **kwargs,
+    )
+
+
+@dataclass
+class PhaseReport:
+    """One phase's outcome: the lifecycle replay report, administrative
+    action counts, and the phase-boundary audit (invariant problems +
+    fabric digest at the boundary)."""
+
+    name: str
+    start_s: float
+    end_s: float
+    churn: ChurnReport = field(default_factory=ChurnReport)
+    drains: int = 0
+    undrains: int = 0
+    invariant_problems: list[str] = field(default_factory=list)
+    digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the fabric invariant held at this phase's boundary."""
+        return not self.invariant_problems
+
+    def summary(self) -> dict:
+        """The phase's flat numbers: the churn summary (``None`` — not
+        NaN — percentiles on zero admits) plus admin counts and the
+        boundary audit result."""
+        out = dict(self.churn.summary())
+        out["drains"] = float(self.drains)
+        out["undrains"] = float(self.undrains)
+        out["invariant_ok"] = self.ok
+        return out
+
+    def describe(self) -> str:
+        """One human-readable line (the CLI's per-phase output)."""
+        s = self.summary()
+        if s["admit_p50_ms"] is None:
+            latency = "admit latency n/a (no successful admits)"
+        else:
+            latency = (
+                f"admit p50={s['admit_p50_ms']:.3f}ms "
+                f"p99={s['admit_p99_ms']:.3f}ms"
+            )
+        admin = ""
+        if self.drains or self.undrains:
+            admin = f"; {self.drains} drains, {self.undrains} undrains"
+        return (
+            f"[{self.name}] {int(s['events'])} events: "
+            f"{int(s['admitted'])} admitted, {int(s['modified'])} modified, "
+            f"{int(s['evicted'])} evicted, {int(s['rejected'])} rejected; "
+            f"{latency}{admin}; "
+            f"invariant {'OK' if self.ok else self.invariant_problems}"
+        )
+
+
+@dataclass
+class CampaignReport:
+    """A whole campaign's outcome: per-phase reports plus the merged
+    campaign-wide churn view and the final fabric digest."""
+
+    scenario: str
+    seed: int
+    trace_digest: str
+    phases: list[PhaseReport] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    final_digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the fabric invariant held at every phase boundary."""
+        return all(phase.ok for phase in self.phases)
+
+    @property
+    def overall(self) -> ChurnReport:
+        """All phases' lifecycle results merged into one report."""
+        return ChurnReport.merged(phase.churn for phase in self.phases)
+
+    def summary(self) -> dict:
+        """Campaign-wide flat numbers plus one summary dict per phase."""
+        merged = self.overall
+        out = dict(merged.summary())
+        out["events_per_sec"] = (
+            merged.num_events / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        )
+        out["drains"] = float(sum(p.drains for p in self.phases))
+        out["undrains"] = float(sum(p.undrains for p in self.phases))
+        out["invariant_ok"] = self.ok
+        out["phases"] = [
+            {"name": p.name, **p.summary()} for p in self.phases
+        ]
+        return out
+
+    def describe(self) -> str:
+        """Multi-line human-readable campaign summary."""
+        lines = [
+            f"campaign {self.scenario!r} (seed {self.seed}, "
+            f"trace {self.trace_digest}):"
+        ]
+        lines.extend(f"  {phase.describe()}" for phase in self.phases)
+        s = self.overall.summary()
+        lines.append(
+            f"  total: {int(s['events'])} events in {self.wall_seconds:.2f}s, "
+            f"{int(s['admitted'])} admitted, {int(s['rejected'])} rejected; "
+            f"invariant {'OK' if self.ok else 'VIOLATED'}"
+        )
+        return "\n".join(lines)
+
+
+class ScenarioRunner:
+    """Replays a compiled campaign against one fabric orchestrator."""
+
+    def __init__(
+        self, fabric: FabricOrchestrator, check_invariants: bool = True
+    ) -> None:
+        self.fabric = fabric
+        self.engine = FabricChurnEngine(fabric)
+        #: Audit the fabric at every phase boundary (the acceptance mode).
+        #: Switching it off skips the O(state) recompute for pure
+        #: throughput measurements; digests are still recorded.
+        self.check_invariants = check_invariants
+
+    def _close_phase(self, phase: PhaseReport) -> None:
+        if self.check_invariants:
+            phase.invariant_problems = self.fabric.check_invariant()
+            if phase.invariant_problems:
+                self.fabric.metrics.inc("scenario.invariant_violations")
+        phase.digest = self.fabric.digest()
+
+    def run(self, campaign: CompiledCampaign) -> CampaignReport:
+        """Apply every event in order; returns the campaign report with
+        one :class:`PhaseReport` per phase marker encountered."""
+        report = CampaignReport(
+            scenario=campaign.spec.name,
+            seed=campaign.seed,
+            trace_digest=campaign.digest(),
+        )
+        bounds = {
+            name: (start, end)
+            for name, start, end in campaign.spec.phase_bounds()
+        }
+        current: PhaseReport | None = None
+        start_wall = time.perf_counter()
+        for event in campaign.events:
+            if event.kind == "phase":
+                if current is not None:
+                    self._close_phase(current)
+                start, end = bounds.get(event.phase, (event.time_s, event.time_s))
+                current = PhaseReport(name=event.phase, start_s=start, end_s=end)
+                report.phases.append(current)
+                self.fabric.metrics.inc("scenario.phases")
+                continue
+            if current is None:
+                raise ScenarioError(
+                    f"event at t={event.time_s} precedes the first phase marker"
+                )
+            if event.kind == "drain":
+                assert event.switch is not None
+                self.fabric.drain(event.switch)
+                current.drains += 1
+                self.fabric.metrics.inc("scenario.drains")
+            elif event.kind == "undrain":
+                assert event.switch is not None
+                self.fabric.undrain(event.switch)
+                current.undrains += 1
+                self.fabric.metrics.inc("scenario.undrains")
+            else:
+                result = self.engine.apply(event.to_churn_event())
+                current.churn.results.append((event, result))
+        if current is not None:
+            self._close_phase(current)
+        report.wall_seconds = time.perf_counter() - start_wall
+        for phase in report.phases:
+            phase.churn.wall_seconds = report.wall_seconds * (
+                phase.churn.num_events / max(1, sum(
+                    p.churn.num_events for p in report.phases
+                ))
+            )
+        report.final_digest = self.fabric.digest()
+        return report
+
+
+def run_campaign(
+    spec: ScenarioSpec,
+    seed: int | None = None,
+    with_dataplane: bool = False,
+    wal_dir: str | None = None,
+    fsync: str = "batch",
+    partitioner: str | None = None,
+    check_invariants: bool = True,
+) -> tuple[FabricOrchestrator, CampaignReport]:
+    """Compile ``spec``, build its fabric (journaling to ``wal_dir`` when
+    given) and replay the campaign; returns the live fabric and the
+    report."""
+    campaign = compile_scenario(spec, seed)
+    fabric = build_fabric(
+        spec, with_dataplane=with_dataplane, partitioner=partitioner
+    )
+    durability = None
+    if wal_dir is not None:
+        from repro.durability import FabricDurability
+
+        durability = FabricDurability(wal_dir, fsync=fsync).attach(fabric)
+    try:
+        report = ScenarioRunner(
+            fabric, check_invariants=check_invariants
+        ).run(campaign)
+    finally:
+        if durability is not None:
+            durability.close()
+    return fabric, report

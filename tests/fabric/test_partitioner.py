@@ -9,6 +9,7 @@ from repro.fabric import (
     FabricOrchestrator,
     FabricTopology,
     LeastBackplanePartitioner,
+    ModuloPartitioner,
     make_partitioner,
 )
 
@@ -71,11 +72,12 @@ def test_least_backplane_skips_drained(fabric):
 
 
 def test_registry_and_factory():
-    assert set(PARTITIONERS) == {"hash", "least-backplane"}
+    assert set(PARTITIONERS) == {"hash", "least-backplane", "modulo"}
     assert isinstance(make_partitioner("hash"), ConsistentHashPartitioner)
     assert isinstance(
         make_partitioner("least-backplane"), LeastBackplanePartitioner
     )
+    assert isinstance(make_partitioner("modulo"), ModuloPartitioner)
     with pytest.raises(PlacementError):
         make_partitioner("round-robin")
     with pytest.raises(PlacementError):

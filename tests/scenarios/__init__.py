@@ -1,0 +1,2 @@
+"""Tests for the declarative scenario DSL, compiler, campaign library,
+runner and the capacity-planning scale mode."""

@@ -1,0 +1,84 @@
+"""The campaign acceptance suite: every library campaign, replayed from
+its registered seed, must hold the fabric bit-identity invariant at every
+phase boundary and replay deterministically."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios.compile import compile_scenario
+from repro.scenarios.library import CAMPAIGNS, campaign_names, get_campaign
+from repro.scenarios.runner import run_campaign
+
+#: The acceptance replay runs each campaign time-shrunk 5x; shapes (and
+#: the seeded determinism being asserted) are unchanged, wall time is not.
+SMOKE_SCALE = 0.2
+
+
+def test_the_library_is_big_enough():
+    # The ISSUE's floor: at least six distinct production-shaped campaigns.
+    assert len(CAMPAIGNS) >= 6
+    assert campaign_names() == sorted(CAMPAIGNS)
+
+
+def test_unknown_campaign_name_raises():
+    with pytest.raises(ScenarioError, match="unknown campaign"):
+        get_campaign("black-friday")
+
+
+@pytest.mark.parametrize("name", sorted(CAMPAIGNS))
+def test_campaign_spec_is_coherent(name):
+    spec = get_campaign(name)
+    assert spec.name == name
+    assert spec.seed != 0  # every library campaign pins its own seed
+    assert spec.description
+    assert len(spec.phases) >= 3
+    # Specs are data: they must round-trip through their dict form.
+    assert type(spec).from_dict(spec.to_dict()) == spec
+
+
+@pytest.mark.parametrize("name", sorted(CAMPAIGNS))
+def test_campaign_holds_the_invariant_at_every_phase_boundary(name):
+    spec = get_campaign(name).shrunk(SMOKE_SCALE)
+    fabric, report = run_campaign(spec)
+    assert report.seed == spec.seed
+    for phase in report.phases:
+        assert phase.invariant_problems == [], (
+            f"{name}/{phase.name}: {phase.invariant_problems}"
+        )
+    assert report.ok
+    assert [p.name for p in report.phases] == [p.name for p in spec.phases]
+    assert report.overall.summary()["admitted"] >= 1.0
+    assert fabric.check_invariant() == []
+
+
+@pytest.mark.parametrize("name", sorted(CAMPAIGNS))
+def test_campaign_replays_deterministically(name):
+    spec = get_campaign(name).shrunk(SMOKE_SCALE)
+    assert (
+        compile_scenario(spec).digest() == compile_scenario(spec).digest()
+    )
+    _, first = run_campaign(spec)
+    _, second = run_campaign(spec)
+    assert first.trace_digest == second.trace_digest
+    assert first.final_digest == second.final_digest
+    assert [p.digest for p in first.phases] == [p.digest for p in second.phases]
+
+
+def test_fault_campaigns_actually_drain():
+    _, failure = run_campaign(get_campaign("correlated-failure").shrunk(SMOKE_SCALE))
+    assert sum(p.drains for p in failure.phases) == 2
+    assert sum(p.undrains for p in failure.phases) == 2
+    _, rolling = run_campaign(get_campaign("rolling-upgrade").shrunk(SMOKE_SCALE))
+    assert sum(p.drains for p in rolling.phases) == 4
+    assert sum(p.undrains for p in rolling.phases) == 4
+
+
+def test_burst_campaign_actually_storms():
+    spec = get_campaign("burst-modify").shrunk(SMOKE_SCALE)
+    campaign = compile_scenario(spec)
+    storms = [
+        e for e in campaign.events
+        if e.kind == "modify" and e.sfc is not None
+        and e.sfc.name.endswith("-burst")
+    ]
+    assert storms, "burst-modify compiled without any burst modifies"

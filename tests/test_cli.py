@@ -204,6 +204,68 @@ def test_recover_rejects_a_directory_without_a_manifest(tmp_path):
         main(["recover", str(tmp_path / "nowhere")])
 
 
+def test_scenario_list_names_every_campaign(capsys):
+    from repro.scenarios import campaign_names
+
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in campaign_names():
+        assert name in out
+    assert "phases over" in out
+
+
+def test_scenario_run_smoke_audits_every_phase(capsys):
+    code = main(["scenario", "run", "steady-state", "--smoke"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "campaign 'steady-state'" in out
+    assert "[warmup]" in out and "[steady]" in out and "[cooldown]" in out
+    assert "invariant OK" in out
+    assert "live tenants:" in out
+
+
+def test_scenario_run_needs_a_name_or_spec(capsys):
+    assert main(["scenario", "run"]) == 2
+    assert "NAME or --spec" in capsys.readouterr().err
+
+
+def test_scenario_compile_writes_a_verifiable_trace(capsys, tmp_path):
+    from repro.scenarios import load_campaign
+
+    out_path = tmp_path / "trace.jsonl"
+    code = main([
+        "scenario", "compile", "flash-crowd", "--smoke", "-o", str(out_path),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert str(out_path) in out
+    campaign = load_campaign(out_path)
+    assert campaign.spec.name == "flash-crowd"
+    assert campaign.num_events > 0
+
+
+def test_scenario_run_from_spec_file_with_wal(capsys, tmp_path):
+    from repro.scenarios import get_campaign, save_spec
+
+    spec_path = tmp_path / "campaign.json"
+    save_spec(spec_path, get_campaign("correlated-failure").shrunk(0.2))
+    wal_dir = tmp_path / "durability"
+    code = main([
+        "scenario", "run", "--spec", str(spec_path),
+        "--wal-dir", str(wal_dir),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2 drains" in out
+    assert (wal_dir / "fabric.wal.jsonl").exists()
+
+    code = main(["recover", str(wal_dir)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "recovered fabric:" in out
+    assert "fabric invariant: OK" in out
+
+
 def test_fig5_quick(capsys):
     assert main(["fig5", "--quick", "--seed", "1"]) == 0
     out = capsys.readouterr().out
