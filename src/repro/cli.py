@@ -395,6 +395,85 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.controller import ChurnConfig, synthesize_churn
+    from repro.experiments.config import PAPER_SWITCH, PAPER_WORKLOAD
+    from repro.fabric import FabricOrchestrator, FabricTopology, make_partitioner
+    from repro.frontend import FrontendClient, FrontendServer, IntentQueue
+
+    topology = FabricTopology.full_mesh(
+        args.switches, spec=PAPER_SWITCH, link_capacity_gbps=args.link_capacity
+    )
+    fabric = FabricOrchestrator(
+        topology,
+        num_types=PAPER_WORKLOAD.num_types,
+        partitioner=make_partitioner(args.partitioner),
+        with_dataplane=not args.no_dataplane,
+    )
+    if args.wal_dir:
+        from repro.durability import FabricDurability
+
+        if args.partitioner == "least-backplane":
+            # Occupancy-sensitive routing: the shard a worker picked at
+            # take time need not match what a serial WAL replay would
+            # pick, so recovery could diverge.  Pure partitioners only.
+            print(
+                "serve: --wal-dir needs a pure partitioner (hash or "
+                "modulo); least-backplane routing is occupancy-dependent "
+                "and would not replay deterministically",
+                file=sys.stderr,
+            )
+            return 2
+        FabricDurability(args.wal_dir, fsync=args.fsync).attach(fabric)
+        print(f"journaling to {args.wal_dir} (fsync={args.fsync})")
+    server = FrontendServer(
+        fabric,
+        host=args.host,
+        port=args.port,
+        queue=IntentQueue(capacity=args.queue_capacity),
+    )
+    server.start()
+    print(f"serving {args.switches} switches ({args.partitioner}) "
+          f"on http://{server.address} — one worker per shard")
+    try:
+        if args.demo_events:
+            # Self-driving demo/CI mode: synthesize a short churn stream,
+            # push it through the in-process client, then shut down.
+            from dataclasses import replace
+
+            client = FrontendClient(server.pool)
+            config = ChurnConfig(
+                duration_s=max(1.0, args.demo_events / 8.0),
+                arrival_rate_per_s=8.0,
+                workload=replace(PAPER_WORKLOAD, num_sfcs=0),
+            )
+            events = synthesize_churn(config, rng=args.seed)[: args.demo_events]
+            ok = 0
+            for event in events:
+                if event.kind.value == "arrival":
+                    assert event.sfc is not None
+                    ok += client.admit(event.sfc).ok
+                elif event.kind.value == "departure":
+                    ok += client.evict(event.tenant_id).ok
+                else:
+                    assert event.sfc is not None
+                    ok += client.modify(event.tenant_id, event.sfc).ok
+            print(f"demo: {ok}/{len(events)} intents accepted, "
+                  f"{fabric.summary()['tenants']} tenants live")
+        else:  # pragma: no cover — interactive serve loop
+            import time
+
+            while True:
+                time.sleep(1.0)
+    except KeyboardInterrupt:  # pragma: no cover
+        print("\ndraining intent queue ...")
+    finally:
+        server.close()
+    problems = fabric.check_invariant()
+    print(f"fabric invariant after drain: {'OK' if not problems else problems}")
+    return 0 if not problems else 1
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.experiments.fig4_throughput import build_demo_pipeline
     from repro.traffic.flows import FlowGenerator
@@ -684,6 +763,56 @@ def main(argv: list[str] | None = None) -> int:
         help="output path for `compile` (default: <campaign>.jsonl)",
     )
     p.set_defaults(func=_cmd_scenario)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the tenant-facing HTTP/JSON API server over a fabric "
+             "(one shard worker per switch, ordered intent queue)",
+    )
+    _add_common(p)
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 = ephemeral, printed at startup)",
+    )
+    p.add_argument(
+        "--switches", type=int, default=4,
+        help="fabric switches = shard workers",
+    )
+    p.add_argument(
+        "--partitioner",
+        choices=("hash", "least-backplane", "modulo"), default="hash",
+        help="tenant->switch routing strategy (pure strategies keep "
+             "concurrent routing replayable)",
+    )
+    p.add_argument(
+        "--link-capacity", type=float, default=400.0,
+        help="inter-switch link capacity (Gbps)",
+    )
+    p.add_argument(
+        "--queue-capacity", type=int, default=4096,
+        help="intent queue bound (submissions past it get HTTP 429)",
+    )
+    p.add_argument(
+        "--no-dataplane", action="store_true",
+        help="control-plane only (skip the behavioural pipeline mirror)",
+    )
+    p.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="journal every committed fabric op to a write-ahead log in "
+             "DIR (recover later with `sfp recover DIR`); a quiesce "
+             "checkpoint is taken on graceful shutdown",
+    )
+    p.add_argument(
+        "--fsync", choices=("always", "batch", "off"), default="batch",
+        help="WAL fsync policy when --wal-dir is set",
+    )
+    p.add_argument(
+        "--demo-events", type=int, default=0, metavar="N",
+        help="self-driving mode: push N synthesized churn intents through "
+             "the in-process client, then drain and exit (CI/tests)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("demo", help="trace a packet through a virtualized chain")
     _add_common(p)

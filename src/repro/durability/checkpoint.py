@@ -488,6 +488,11 @@ class FabricDurability:
         self.checkpoint_every = checkpoint_every
         self.checkpoints_taken = 0
         self._ops_since_checkpoint = 0
+        #: Gate on the ``checkpoint_every`` cadence.  The concurrent front
+        #: end clears this while its worker pool runs — a checkpoint reads
+        #: the whole fabric and may only happen at a quiesce point — and
+        #: restores it (and checkpoints) on graceful shutdown.
+        self.auto_checkpoints = True
         self.shard_wals: dict[str, WriteAheadLog] = {}
 
     def shard_wal_path(self, switch: str) -> Path:
@@ -515,10 +520,15 @@ class FabricDurability:
         return self
 
     def commit_op(self, fabric: "FabricOrchestrator", op: str, data: dict):
-        """Journal one committed fabric op; auto-checkpoint on cadence."""
+        """Journal one committed fabric op; auto-checkpoint on cadence
+        (unless :attr:`auto_checkpoints` is cleared for concurrent use)."""
         record = self.wal.append(op, data)
         self._ops_since_checkpoint += 1
-        if self.checkpoint_every and self._ops_since_checkpoint >= self.checkpoint_every:
+        if (
+            self.auto_checkpoints
+            and self.checkpoint_every
+            and self._ops_since_checkpoint >= self.checkpoint_every
+        ):
             self.checkpoint(fabric)
         return record
 

@@ -27,12 +27,24 @@ Compaction (:meth:`compact`, driven by checkpoints) atomically rewrites the
 log keeping only records past the checkpoint LSN.  LSNs survive compaction:
 the first line of every log file is a ``_header`` record carrying the base
 LSN the file continues from.
+
+The log is **thread-safe** and implements **leader-based group commit**:
+concurrent committers under ``fsync="always"`` each append under the log
+mutex, then wait until their bytes are durable — the first waiter becomes
+the *sync leader*, performs one ``fdatasync`` covering every append made so
+far (the GIL is released during the syscall, so other committers keep
+appending meanwhile), and wakes everyone whose offset the sync covered.
+``N`` concurrent committers therefore share ``~1`` sync instead of paying
+``N`` — the amortization the concurrent control-plane front end
+(:mod:`repro.frontend`) is built on, with unchanged
+durability-before-acknowledgment semantics.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -186,6 +198,10 @@ class WriteAheadLog:
         self.fsync_policy = fsync
         self.batch_every = batch_every
         self.fault_hook = fault_hook
+        # One mutex guards file writes, offsets, and LSN allocation; the
+        # condition on top of it coordinates the group-commit sync leader.
+        self._cv = threading.Condition()
+        self._sync_leader_active = False
         self.path.parent.mkdir(parents=True, exist_ok=True)
 
         scan = scan_wal(self.path)
@@ -238,25 +254,34 @@ class WriteAheadLog:
 
     # ------------------------------------------------------------------
     def append(self, op: str, data: dict) -> WalRecord:
-        """Append one record (the next LSN) and apply the fsync policy."""
+        """Append one record (the next LSN) and apply the fsync policy.
+
+        Safe to call from concurrent committers: LSN allocation and the
+        file write happen under the log mutex, and ``fsync="always"``
+        callers return only once their bytes are durable — via the
+        group-commit protocol, so concurrent callers share syncs."""
         if op == HEADER_OP:
             raise DurabilityError(f"op name {HEADER_OP!r} is reserved")
         self._hook("wal.before-append")
-        record = WalRecord(lsn=self.last_lsn + 1, op=op, data=data)
-        line = record.to_line()
-        # No flush here: the buffer drains on sync/close/abort/records(),
-        # so a hot loop pays one write syscall per batch, not per record.
-        self._fh.write(line)
-        self._offset += len(line)
-        self.last_lsn = record.lsn
-        self.appended += 1
+        batch_due = False
+        with self._cv:
+            record = WalRecord(lsn=self.last_lsn + 1, op=op, data=data)
+            line = record.to_line()
+            # No flush here: the buffer drains on sync/close/abort/records(),
+            # so a hot loop pays one write syscall per batch, not per record.
+            self._fh.write(line)
+            self._offset += len(line)
+            self.last_lsn = record.lsn
+            self.appended += 1
+            target = self._offset
+            if self.fsync_policy == "batch":
+                self._since_sync += 1
+                batch_due = self._since_sync >= self.batch_every
         self._hook("wal.after-append")
         if self.fsync_policy == "always":
+            self._ensure_durable(target)
+        elif batch_due:
             self.sync()
-        elif self.fsync_policy == "batch":
-            self._since_sync += 1
-            if self._since_sync >= self.batch_every:
-                self.sync()
         return record
 
     def sync(self) -> None:
@@ -265,32 +290,64 @@ class WriteAheadLog:
         Uses ``fdatasync`` where the platform has it (the journal only
         needs its *data* durable; skipping the metadata flush is the
         standard WAL trade, and measurably cheaper on ext4)."""
-        self._hook("wal.before-fsync")
-        self._fh.flush()
-        getattr(os, "fdatasync", os.fsync)(self._fh.fileno())
-        self._durable_offset = self._offset
-        self._since_sync = 0
-        self._hook("wal.after-fsync")
+        with self._cv:
+            target = self._offset
+        self._ensure_durable(target)
+
+    def _ensure_durable(self, target: int) -> None:
+        """Block until byte offset ``target`` is on stable storage.
+
+        Group commit: the first waiter whose target is not yet durable
+        becomes the sync leader and performs one flush + ``fdatasync``
+        covering every byte appended so far; everyone else waits on the
+        condition and is woken when the leader's sync covered them.  The
+        GIL is released inside ``fdatasync``, so committers keep appending
+        (and queuing behind the *next* sync) while the leader is in the
+        kernel — which is exactly what amortizes syncs across workers."""
+        while True:
+            with self._cv:
+                if self._durable_offset >= target:
+                    return
+                if self._sync_leader_active:
+                    self._cv.wait(0.1)
+                    continue
+                self._sync_leader_active = True
+                goal = self._offset
+            try:
+                self._hook("wal.before-fsync")
+                self._fh.flush()
+                getattr(os, "fdatasync", os.fsync)(self._fh.fileno())
+                with self._cv:
+                    self._durable_offset = max(self._durable_offset, goal)
+                    self._since_sync = 0
+                self._hook("wal.after-fsync")
+            finally:
+                with self._cv:
+                    self._sync_leader_active = False
+                    self._cv.notify_all()
 
     def close(self) -> None:
         """Clean shutdown: flush + fsync, then close the handle."""
         if self._fh.closed:
             return
         self.sync()
-        self._fh.close()
+        with self._cv:
+            self._fh.close()
 
     def abort(self) -> None:
         """Close the handle *without* syncing — the fault harness's
         simulated process death (buffered-but-unsynced bytes keep whatever
         fate the harness then assigns the file)."""
-        if not self._fh.closed:
-            self._fh.flush()
-            self._fh.close()
+        with self._cv:
+            if not self._fh.closed:
+                self._fh.flush()
+                self._fh.close()
 
     # ------------------------------------------------------------------
     def records(self) -> list[WalRecord]:
         """All valid records currently on disk, in LSN order."""
-        self._fh.flush()
+        with self._cv:
+            self._fh.flush()
         return list(scan_wal(self.path).records)
 
     def compact(self, upto_lsn: int) -> int:
@@ -298,33 +355,34 @@ class WriteAheadLog:
         checkpoint), preserving LSN continuity via the file header.  The
         rewrite is atomic (tmp + rename + fsync).  Returns the number of
         records dropped."""
-        self._fh.flush()
-        scan = scan_wal(self.path)
-        keep = [r for r in scan.records if r.lsn > upto_lsn]
-        dropped = len(scan.records) - len(keep)
-        base = max(scan.base_lsn, min(upto_lsn, self.last_lsn))
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        with tmp.open("wb") as fh:
-            fh.write(
-                WalRecord(
-                    lsn=base,
-                    op=HEADER_OP,
-                    data={"version": WAL_VERSION, "base_lsn": base},
-                ).to_line()
-            )
-            for record in keep:
-                fh.write(record.to_line())
-            fh.flush()
-            os.fsync(fh.fileno())
-        self._fh.close()
-        os.replace(tmp, self.path)
-        _fsync_dir(self.path.parent)
-        self._fh = self.path.open("ab")
-        self._offset = self.path.stat().st_size
-        self._durable_offset = self._offset
-        self._since_sync = 0
-        self._base_lsn = base
-        return dropped
+        with self._cv:
+            self._fh.flush()
+            scan = scan_wal(self.path)
+            keep = [r for r in scan.records if r.lsn > upto_lsn]
+            dropped = len(scan.records) - len(keep)
+            base = max(scan.base_lsn, min(upto_lsn, self.last_lsn))
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            with tmp.open("wb") as fh:
+                fh.write(
+                    WalRecord(
+                        lsn=base,
+                        op=HEADER_OP,
+                        data={"version": WAL_VERSION, "base_lsn": base},
+                    ).to_line()
+                )
+                for record in keep:
+                    fh.write(record.to_line())
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._fh.close()
+            os.replace(tmp, self.path)
+            _fsync_dir(self.path.parent)
+            self._fh = self.path.open("ab")
+            self._offset = self.path.stat().st_size
+            self._durable_offset = self._offset
+            self._since_sync = 0
+            self._base_lsn = base
+            return dropped
 
     def __len__(self) -> int:
         return len(self.records())

@@ -58,3 +58,14 @@ class DurabilityError(ReproError):
 class ScenarioError(ReproError):
     """Raised on invalid scenario/campaign specs (malformed load curves,
     fault schedules referencing unknown switches, unparseable spec files)."""
+
+
+class FrontendError(ReproError):
+    """Raised on invalid front-end requests or lifecycle misuse (malformed
+    intents, submitting to a closed queue, stopping a stopped pool)."""
+
+
+class QueueFullError(FrontendError):
+    """Raised when an intent queue refuses a submission — the per-tenant
+    FIFO or the global bound is full.  The HTTP server maps this to 429
+    (backpressure); in-process callers retry or shed load themselves."""

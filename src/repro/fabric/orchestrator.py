@@ -24,10 +24,31 @@ loads are renormalized in sorted-tenant order after every event, so the
 incremental fabric state (per-switch arrays + backplane floats + link
 floats) stays **bit-identical** to a from-scratch recomputation —
 :meth:`check_invariant` asserts exactly that, per shard and per link.
+
+**Concurrency.**  The fabric is safe to drive from the concurrent front
+end's shard workers (:mod:`repro.frontend.workers`).  Every shard has its
+own lock; the ``*_local`` fast paths (:meth:`admit_local`,
+:meth:`evict_local`, :meth:`modify_local`) decide single-shard intents
+under exactly one shard lock, so workers on different shards run
+concurrently.  Anything cross-shard — spillover, stitching, drain — goes
+through the public lifecycle methods, which acquire *every* shard lock in
+sorted-name order (a total order, hence deadlock-free against fast paths,
+which never hold more than one shard lock).  The shared tenant directory,
+link loads, and gauges sit under an inner ``_dir_lock``.  Callers must
+keep per-tenant program order themselves (the intent queue's
+at-most-one-in-flight-per-tenant rule); read paths (``digest``,
+``summary``, ``check_invariant``) are quiesce-only — call them with no op
+in flight.  When journaling runs concurrently, set :attr:`journal_digests`
+to ``False``: the fabric-wide digest reads every shard and cannot be
+computed consistently under one shard lock (recovery verifies digests only
+when present; the concurrent bench proves convergence by crash-recovery
+against a serial-replay oracle instead).
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -181,6 +202,23 @@ class FabricOrchestrator:
         self.tenants: dict[int, FabricTenant] = {}
         self.drained: set[str] = set()
         self.metrics = MetricsRegistry()
+        # -- concurrency seams (see the module docstring) ----------------
+        #: One lock per shard.  Fast paths hold exactly one; the public
+        #: lifecycle methods acquire all of them in sorted-name order.
+        self._shard_locks: dict[str, threading.RLock] = {
+            name: threading.RLock() for name in topology.switch_names
+        }
+        self._lock_order: tuple[str, ...] = tuple(
+            sorted(topology.switch_names)
+        )
+        #: Guards the tenant directory, link loads, and gauge refreshes —
+        #: the state single-shard fast paths on *different* shards share.
+        self._dir_lock = threading.RLock()
+        #: Embed the fabric-wide digest in every journaled op (the per-LSN
+        #: recovery oracle).  The concurrent front end sets this ``False``:
+        #: the digest reads every shard and would tear under one shard
+        #: lock.  Recovery only verifies digests that are present.
+        self.journal_digests = True
         #: Optional durability coordinator (:class:`~repro.durability.
         #: checkpoint.FabricDurability`), set by ``attach()``.  Every
         #: successful fabric op is journaled to the fabric manifest log —
@@ -267,6 +305,20 @@ class FabricOrchestrator:
     # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
+    @contextmanager
+    def _fabric_locked(self):
+        """Hold every shard lock, acquired in sorted-name order — the
+        fabric-wide total order that makes cross-shard ops deadlock-free
+        against single-shard fast paths (which never hold more than one
+        shard lock, so they can never close a cycle)."""
+        for name in self._lock_order:
+            self._shard_locks[name].acquire()
+        try:
+            yield
+        finally:
+            for name in reversed(self._lock_order):
+                self._shard_locks[name].release()
+
     def _reject(
         self, tenant_id: int, op: str, reason: str, detail: str, timer: Timer
     ) -> FabricOpResult:
@@ -293,39 +345,45 @@ class FabricOrchestrator:
         )
 
     def _commit_durable(self, op: str, data: dict) -> None:
-        """Journal one successful fabric op (plus the post-op fabric digest
-        — recovery's per-LSN oracle) to the attached coordinator."""
+        """Journal one successful fabric op (plus, when
+        :attr:`journal_digests` is on, the post-op fabric digest —
+        recovery's per-LSN oracle) to the attached coordinator."""
         if self.durability is None:
             return
         payload = dict(data)
-        payload["digest"] = self.digest()
+        if self.journal_digests:
+            payload["digest"] = self.digest()
         self.durability.commit_op(self, op, payload)
 
     def _refresh_gauges(self) -> None:
-        self.metrics.gauge("tenants").set(len(self.tenants))
-        self.metrics.gauge("stitched_tenants").set(
-            sum(1 for rec in self.tenants.values() if rec.stitched)
-        )
-        for name, shard in self.shards.items():
-            self.metrics.gauge(f"backplane_gbps.{name}").set(
-                shard.state.backplane_gbps
+        with self._dir_lock:
+            self.metrics.gauge("tenants").set(len(self.tenants))
+            self.metrics.gauge("stitched_tenants").set(
+                sum(1 for rec in self.tenants.values() if rec.stitched)
             )
-            self.metrics.gauge(f"tenants.{name}").set(len(shard.tenants))
-        for (a, b), link in self.links.items():
-            self.metrics.gauge(f"link_load_gbps.{a}-{b}").set(link.load_gbps)
+            for name, shard in self.shards.items():
+                self.metrics.gauge(f"backplane_gbps.{name}").set(
+                    shard.state.backplane_gbps
+                )
+                self.metrics.gauge(f"tenants.{name}").set(len(shard.tenants))
+            for (a, b), link in self.links.items():
+                self.metrics.gauge(f"link_load_gbps.{a}-{b}").set(
+                    link.load_gbps
+                )
 
     def _renormalize_links(self) -> None:
         """Recompute every link's load in sorted-tenant order — the exact
         accumulation a from-scratch recomputation over the directory uses,
         so incremental link floats stay bit-identical to it (the fabric
         analogue of the controller's backplane renormalization)."""
-        loads = {key: 0.0 for key in self.links}
-        for tenant_id in sorted(self.tenants):
-            record = self.tenants[tenant_id]
-            for key in record.links:
-                loads[key] += record.sfc.bandwidth_gbps
-        for key, total in loads.items():
-            self.links[key].load_gbps = total
+        with self._dir_lock:
+            loads = {key: 0.0 for key in self.links}
+            for tenant_id in sorted(self.tenants):
+                record = self.tenants[tenant_id]
+                for key in record.links:
+                    loads[key] += record.sfc.bandwidth_gbps
+            for key, total in loads.items():
+                self.links[key].load_gbps = total
 
     def _observe_admit(self, switch: str, result: OpResult) -> None:
         self.metrics.observe(f"admit_latency_s.{switch}", result.latency_s)
@@ -432,15 +490,18 @@ class FabricOrchestrator:
 
     def _remove(self, tenant_id: int) -> tuple[FabricTenant, int]:
         """Evict every segment of a directory tenant and release its link
-        charges; returns the removed record and the rule-churn total."""
-        record = self.tenants.pop(tenant_id)
+        charges; returns the removed record and the rule-churn total.
+        Caller holds the lock of every shard the tenant touches."""
+        with self._dir_lock:
+            record = self.tenants.pop(tenant_id)
         deleted = 0
         for seg in record.segments:
             result = self.shards[seg.switch].evict(tenant_id)
             deleted += result.rules_deleted
-        for key in record.links:
-            self.links[key].release_load(record.sfc.bandwidth_gbps)
-        self._renormalize_links()
+        with self._dir_lock:
+            for key in record.links:
+                self.links[key].release_load(record.sfc.bandwidth_gbps)
+            self._renormalize_links()
         return record, deleted
 
     # ------------------------------------------------------------------
@@ -448,19 +509,20 @@ class FabricOrchestrator:
     # ------------------------------------------------------------------
     def admit(self, sfc: SFC) -> FabricOpResult:
         """Admit one tenant chain somewhere on the fabric."""
-        with maybe_span(
-            self.tracer, "fabric.admit", tenant=sfc.tenant_id
-        ) as span, self.metrics.timer("op_latency_s.admit") as timer:
-            result = self._admit(sfc, timer)
-            span.set(
-                ok=result.ok, switches=list(result.switches),
-                stitched=result.stitched,
-            )
-        self._record_op(result)
-        if result.ok:
-            self._commit_durable(
-                "admit", {"tenant_id": sfc.tenant_id, "sfc": sfc.to_dict()}
-            )
+        with self._fabric_locked():
+            with maybe_span(
+                self.tracer, "fabric.admit", tenant=sfc.tenant_id
+            ) as span, self.metrics.timer("op_latency_s.admit") as timer:
+                result = self._admit(sfc, timer)
+                span.set(
+                    ok=result.ok, switches=list(result.switches),
+                    stitched=result.stitched,
+                )
+            self._record_op(result)
+            if result.ok:
+                self._commit_durable(
+                    "admit", {"tenant_id": sfc.tenant_id, "sfc": sfc.to_dict()}
+                )
         return result
 
     def _admit(self, sfc: SFC, timer: Timer) -> FabricOpResult:
@@ -477,14 +539,15 @@ class FabricOrchestrator:
 
     def evict(self, tenant_id: int) -> FabricOpResult:
         """Tenant departure: tear down every segment, release links."""
-        with maybe_span(
-            self.tracer, "fabric.evict", tenant=tenant_id
-        ) as span, self.metrics.timer("op_latency_s.evict") as timer:
-            result = self._evict(tenant_id, timer)
-            span.set(ok=result.ok, switches=list(result.switches))
-        self._record_op(result)
-        if result.ok:
-            self._commit_durable("evict", {"tenant_id": tenant_id})
+        with self._fabric_locked():
+            with maybe_span(
+                self.tracer, "fabric.evict", tenant=tenant_id
+            ) as span, self.metrics.timer("op_latency_s.evict") as timer:
+                result = self._evict(tenant_id, timer)
+                span.set(ok=result.ok, switches=list(result.switches))
+            self._record_op(result)
+            if result.ok:
+                self._commit_durable("evict", {"tenant_id": tenant_id})
         return result
 
     def _evict(self, tenant_id: int, timer: Timer) -> FabricOpResult:
@@ -514,25 +577,26 @@ class FabricOrchestrator:
         fits nowhere, the old chain is restored (its resources were just
         freed, so the same routing re-places it) and the rejection is
         returned."""
-        with maybe_span(
-            self.tracer, "fabric.modify", tenant=tenant_id
-        ) as span, self.metrics.timer("op_latency_s.modify") as timer:
-            result = self._modify(tenant_id, new_chain, timer)
-            span.set(ok=result.ok, hitless=result.hitless)
-        self._record_op(result)
-        # Failed modifies are journaled too (unless trivially rejected):
-        # a refused re-home still evicts + re-places the old chain, which
-        # can land the tenant on different switches — a state change replay
-        # must re-drive.
-        if result.ok or result.reason != "unknown-tenant":
-            self._commit_durable(
-                "modify",
-                {
-                    "tenant_id": tenant_id,
-                    "sfc": new_chain.to_dict(),
-                    "ok": result.ok,
-                },
-            )
+        with self._fabric_locked():
+            with maybe_span(
+                self.tracer, "fabric.modify", tenant=tenant_id
+            ) as span, self.metrics.timer("op_latency_s.modify") as timer:
+                result = self._modify(tenant_id, new_chain, timer)
+                span.set(ok=result.ok, hitless=result.hitless)
+            self._record_op(result)
+            # Failed modifies are journaled too (unless trivially rejected):
+            # a refused re-home still evicts + re-places the old chain, which
+            # can land the tenant on different switches — a state change
+            # replay must re-drive.
+            if result.ok or result.reason != "unknown-tenant":
+                self._commit_durable(
+                    "modify",
+                    {
+                        "tenant_id": tenant_id,
+                        "sfc": new_chain.to_dict(),
+                        "ok": result.ok,
+                    },
+                )
         return result
 
     def _modify(
@@ -602,41 +666,47 @@ class FabricOrchestrator:
         recorder, preserving the event window that led to each eviction."""
         if switch not in self.shards:
             raise PlacementError(f"unknown switch {switch!r}")
-        with maybe_span(
-            self.tracer, "fabric.drain", switch=switch
-        ) as span, self.metrics.timer("op_latency_s.drain"):
-            self.drained.add(switch)
-            affected = sorted(
-                tenant_id
-                for tenant_id, record in self.tenants.items()
-                if switch in record.switches
+        with self._fabric_locked():
+            with maybe_span(
+                self.tracer, "fabric.drain", switch=switch
+            ) as span, self.metrics.timer("op_latency_s.drain"):
+                self.drained.add(switch)
+                affected = sorted(
+                    tenant_id
+                    for tenant_id, record in self.tenants.items()
+                    if switch in record.switches
+                )
+                rehomed: list[int] = []
+                evicted: list[int] = []
+                for tenant_id in affected:
+                    record, _deleted = self._remove(tenant_id)
+                    placed = self._place(record.sfc, "drain", Timer())
+                    if placed.ok:
+                        rehomed.append(tenant_id)
+                    else:
+                        evicted.append(tenant_id)
+                self.metrics.inc("drains")
+                self.metrics.inc("drain.rehomed", len(rehomed))
+                self.metrics.inc("drain.evicted", len(evicted))
+                self._refresh_gauges()
+                span.set(rehomed=len(rehomed), evicted=len(evicted))
+            self.recorder.record_state(
+                "fabric.drain", switch=switch,
+                rehomed=list(rehomed), evicted=list(evicted),
             )
-            rehomed: list[int] = []
-            evicted: list[int] = []
-            for tenant_id in affected:
-                record, _deleted = self._remove(tenant_id)
-                placed = self._place(record.sfc, "drain", Timer())
-                if placed.ok:
-                    rehomed.append(tenant_id)
-                else:
-                    evicted.append(tenant_id)
-            self.metrics.inc("drains")
-            self.metrics.inc("drain.rehomed", len(rehomed))
-            self.metrics.inc("drain.evicted", len(evicted))
-            self._refresh_gauges()
-            span.set(rehomed=len(rehomed), evicted=len(evicted))
-        self.recorder.record_state(
-            "fabric.drain", switch=switch,
-            rehomed=list(rehomed), evicted=list(evicted),
-        )
-        if evicted:
-            self.recorder.snap(
-                "drain-evicted-tenants", switch=switch, evicted=list(evicted)
+            if evicted:
+                self.recorder.snap(
+                    "drain-evicted-tenants", switch=switch,
+                    evicted=list(evicted),
+                )
+            self._commit_durable(
+                "drain",
+                {
+                    "switch": switch,
+                    "rehomed": list(rehomed),
+                    "evicted": list(evicted),
+                },
             )
-        self._commit_durable(
-            "drain",
-            {"switch": switch, "rehomed": list(rehomed), "evicted": list(evicted)},
-        )
         return DrainReport(
             switch=switch, rehomed=tuple(rehomed), evicted=tuple(evicted)
         )
@@ -646,8 +716,213 @@ class FabricOrchestrator:
         move back; new arrivals may land on it again)."""
         if switch not in self.shards:
             raise PlacementError(f"unknown switch {switch!r}")
-        self.drained.discard(switch)
-        self._commit_durable("undrain", {"switch": switch})
+        with self._fabric_locked():
+            self.drained.discard(switch)
+            self._commit_durable("undrain", {"switch": switch})
+
+    # ------------------------------------------------------------------
+    # Single-shard fast paths (the concurrent front end's entry points)
+    # ------------------------------------------------------------------
+    # Each ``*_local`` decides an intent under exactly one shard lock when
+    # the outcome is provably single-shard, and returns ``None`` when the
+    # caller must escalate to the matching public method (which takes the
+    # fabric-wide lock order).  Callers must serialize ops per tenant
+    # (the intent queue's at-most-one-in-flight rule); the journaled
+    # record order then matches execution order per shard and per tenant,
+    # because the journal append happens before the shard lock is
+    # released.
+    def preferred_switch(self, sfc: SFC) -> str | None:
+        """The partitioner's first active choice for ``sfc`` — the shard
+        the front end routes an admit intent to (``None`` = all drained).
+        Only pure (state-independent) partitioners make concurrent routing
+        reproducible under replay; see :mod:`repro.fabric.partitioner`."""
+        order = self.partitioner.order(sfc, self)
+        return order[0] if order else None
+
+    def home_switch(self, tenant_id: int) -> str | None:
+        """The single home shard of ``tenant_id`` — how the front end
+        routes evict/modify intents.  ``None`` when the tenant is unknown
+        (any worker may reject it) or stitched (escalate)."""
+        with self._dir_lock:
+            record = self.tenants.get(tenant_id)
+            if record is None or record.stitched:
+                return None
+            return record.segments[0].switch
+
+    def admit_local(self, sfc: SFC, switch: str) -> FabricOpResult | None:
+        """Fast-path admit: try exactly ``switch`` (the caller's routing
+        choice, normally :meth:`preferred_switch`) under that shard's lock
+        alone.  Returns the result when the outcome is decided locally —
+        success, or a duplicate-tenant rejection — and ``None`` when this
+        shard refuses and the caller must escalate to :meth:`admit`
+        (spillover / stitching need the fabric-wide lock order)."""
+        lock = self._shard_locks.get(switch)
+        if lock is None:
+            raise PlacementError(f"unknown switch {switch!r}")
+        with lock:
+            with maybe_span(
+                self.tracer, "fabric.admit", tenant=sfc.tenant_id
+            ) as span, self.metrics.timer("op_latency_s.admit") as timer:
+                with self._dir_lock:
+                    duplicate = sfc.tenant_id in self.tenants
+                    drained = switch in self.drained
+                if duplicate:
+                    result = self._reject(
+                        sfc.tenant_id, "admit", "duplicate-tenant",
+                        f"tenant {sfc.tenant_id} already has a live chain",
+                        timer,
+                    )
+                    span.set(ok=False, switches=[], stitched=False)
+                    self._record_op(result)
+                    return result
+                if drained:
+                    span.set(escalated=True)
+                    return None
+                shard_res = self.shards[switch].admit(sfc)
+                self._observe_admit(switch, shard_res)
+                if not shard_res.ok:
+                    span.set(escalated=True)
+                    return None
+                with self._dir_lock:
+                    self.tenants[sfc.tenant_id] = FabricTenant(
+                        sfc=sfc,
+                        segments=(
+                            Segment(
+                                switch=switch,
+                                sfc=sfc,
+                                start=0,
+                                stop=sfc.length,
+                                stages=shard_res.stages,
+                            ),
+                        ),
+                    )
+                    self.metrics.inc("admitted")
+                    self._refresh_gauges()
+                result = FabricOpResult(
+                    ok=True,
+                    tenant_id=sfc.tenant_id,
+                    op="admit",
+                    switches=(switch,),
+                    rules_added=shard_res.rules_added,
+                    latency_s=timer.elapsed_s,
+                )
+                span.set(ok=True, switches=[switch], stitched=False)
+            self._record_op(result)
+            self._commit_durable(
+                "admit", {"tenant_id": sfc.tenant_id, "sfc": sfc.to_dict()}
+            )
+        return result
+
+    def evict_local(self, tenant_id: int) -> FabricOpResult | None:
+        """Fast-path evict under the tenant's home-shard lock alone.
+        Decides unknown tenants (rejection) and single-homed tenants
+        locally; returns ``None`` for stitched tenants, which touch two
+        shards and a link and must go through :meth:`evict`."""
+        with self._dir_lock:
+            record = self.tenants.get(tenant_id)
+        if record is None:
+            with maybe_span(
+                self.tracer, "fabric.evict", tenant=tenant_id
+            ) as span, self.metrics.timer("op_latency_s.evict") as timer:
+                result = self._reject(
+                    tenant_id, "evict", "unknown-tenant",
+                    f"tenant {tenant_id} has no live chain", timer,
+                )
+                span.set(ok=False, switches=[])
+            self._record_op(result)
+            return result
+        if record.stitched:
+            return None
+        home = record.segments[0].switch
+        with self._shard_locks[home]:
+            with maybe_span(
+                self.tracer, "fabric.evict", tenant=tenant_id
+            ) as span, self.metrics.timer("op_latency_s.evict") as timer:
+                record, deleted = self._remove(tenant_id)
+                self.metrics.inc("evicted")
+                self._refresh_gauges()
+                result = FabricOpResult(
+                    ok=True,
+                    tenant_id=tenant_id,
+                    op="evict",
+                    switches=record.switches,
+                    rules_deleted=deleted,
+                    latency_s=timer.elapsed_s,
+                )
+                span.set(ok=True, switches=list(record.switches))
+            self._record_op(result)
+            self._commit_durable("evict", {"tenant_id": tenant_id})
+        return result
+
+    def modify_local(
+        self, tenant_id: int, new_chain: SFC
+    ) -> FabricOpResult | None:
+        """Fast-path modify: hitless in-place swap on a single-homed
+        tenant's home shard, under that shard's lock alone.  Returns
+        ``None`` for stitched tenants or when the home shard refuses the
+        in-place swap — re-homing evicts and re-routes, so it must go
+        through :meth:`modify`."""
+        with self._dir_lock:
+            record = self.tenants.get(tenant_id)
+        if record is None:
+            with maybe_span(
+                self.tracer, "fabric.modify", tenant=tenant_id
+            ) as span, self.metrics.timer("op_latency_s.modify") as timer:
+                result = self._reject(
+                    tenant_id, "modify", "unknown-tenant",
+                    f"tenant {tenant_id} has no live chain", timer,
+                )
+                span.set(ok=False, hitless=True)
+            self._record_op(result)
+            return result
+        if record.stitched:
+            return None
+        home = record.segments[0].switch
+        with self._shard_locks[home]:
+            with maybe_span(
+                self.tracer, "fabric.modify", tenant=tenant_id
+            ) as span, self.metrics.timer("op_latency_s.modify") as timer:
+                new_sfc = replace(new_chain, tenant_id=tenant_id)
+                shard_res = self.shards[home].modify(tenant_id, new_sfc)
+                if not shard_res.ok:
+                    span.set(escalated=True)
+                    return None
+                with self._dir_lock:
+                    self.tenants[tenant_id] = FabricTenant(
+                        sfc=new_sfc,
+                        segments=(
+                            Segment(
+                                switch=home,
+                                sfc=new_sfc,
+                                start=0,
+                                stop=new_sfc.length,
+                                stages=shard_res.stages,
+                            ),
+                        ),
+                    )
+                    self.metrics.inc("modified")
+                    self._refresh_gauges()
+                result = FabricOpResult(
+                    ok=True,
+                    tenant_id=tenant_id,
+                    op="modify",
+                    switches=(home,),
+                    hitless=shard_res.hitless,
+                    rules_added=shard_res.rules_added,
+                    rules_deleted=shard_res.rules_deleted,
+                    latency_s=timer.elapsed_s,
+                )
+                span.set(ok=True, hitless=shard_res.hitless)
+            self._record_op(result)
+            self._commit_durable(
+                "modify",
+                {
+                    "tenant_id": tenant_id,
+                    "sfc": new_chain.to_dict(),
+                    "ok": True,
+                },
+            )
+        return result
 
     # ------------------------------------------------------------------
     # Verification

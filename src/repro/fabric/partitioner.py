@@ -67,7 +67,11 @@ class ConsistentHashPartitioner:
                 for r in range(self.replicas)
             ]
             points.sort()
-            self._ring_for, self._ring = names, points
+            # Ring before key: concurrent routers (the front end calls
+            # ``order`` outside any fabric lock) must never see the new
+            # cache key paired with the old ring.
+            self._ring = points
+            self._ring_for = names
         return self._ring
 
     def order(self, sfc: SFC, fabric: "FabricOrchestrator") -> list[str]:

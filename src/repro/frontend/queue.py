@@ -1,0 +1,288 @@
+"""The ordered intent queue: per-tenant FIFOs behind one scheduler.
+
+Tenant intents (admit / evict / modify) and operator intents (drain /
+undrain) enter the control plane through an :class:`IntentQueue`.  The
+queue gives the concurrent front end its two ordering guarantees:
+
+* **Per-tenant program order.**  Intents for one tenant are kept in one
+  bounded FIFO, and at most one intent per tenant is ever in flight: a
+  tenant's second intent cannot start executing until its first has
+  completed, no matter how many shard workers are pulling.  Since the
+  fabric journal is appended before an op's shard lock is released, the
+  WAL's per-tenant record order equals each tenant's submission order.
+* **Cross-tenant fairness.**  Ready tenants are served round-robin: when
+  a tenant's in-flight intent completes and it still has queued intents,
+  it re-enters the ready ring at the tail, so one chatty tenant cannot
+  starve the rest.
+
+Backpressure is explicit: :meth:`IntentQueue.submit` raises
+:class:`~repro.errors.QueueFullError` when the global bound or the
+submitting tenant's FIFO is full (the HTTP server maps this to 429), and
+:class:`~repro.errors.FrontendError` once the queue is draining or closed
+(503).  Completion is reported through the :class:`IntentTicket` returned
+by ``submit`` — a tiny future the in-process client blocks on.
+
+Routing is the queue's third job: a worker calls :meth:`IntentQueue.take`
+with its shard name and a route function; the queue scans the ready ring
+under its mutex, hands the worker the first head-of-line intent routed to
+its shard (or routed nowhere in particular — cross-shard intents, which
+any worker may execute under the fabric-wide lock order), and marks that
+tenant in flight.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.spec import SFC
+from repro.errors import FrontendError, QueueFullError
+
+#: Intent kinds routed by tenant (per-tenant FIFO key = the tenant id).
+TENANT_KINDS = ("admit", "evict", "modify")
+#: Operator intents routed by switch (FIFO key = the switch name).
+SWITCH_KINDS = ("drain", "undrain")
+
+_seq = itertools.count(1)
+
+
+@dataclass
+class Intent:
+    """One queued control-plane request.
+
+    ``kind`` is one of :data:`TENANT_KINDS` / :data:`SWITCH_KINDS`;
+    ``tenant_id`` + ``sfc`` carry tenant intents, ``switch`` carries
+    operator intents.  ``seq`` is a process-wide submission sequence
+    number (telemetry labels and test assertions only — ordering comes
+    from the per-key FIFOs, not from ``seq``)."""
+
+    kind: str
+    tenant_id: int = 0
+    sfc: SFC | None = None
+    switch: str | None = None
+    seq: int = field(default_factory=lambda: next(_seq))
+    #: Set by :meth:`IntentQueue.take`: the shard the router chose, or
+    #: ``None`` for cross-shard intents (worker escalates immediately).
+    routed_to: str | None = None
+
+    @property
+    def key(self) -> tuple[str, object]:
+        """The FIFO this intent serializes under."""
+        if self.kind in SWITCH_KINDS:
+            return ("switch", self.switch)
+        return ("tenant", self.tenant_id)
+
+    def validate(self) -> None:
+        """Reject malformed intents at the door (server/client both call
+        this before submission)."""
+        if self.kind in TENANT_KINDS:
+            if self.kind in ("admit", "modify") and self.sfc is None:
+                raise FrontendError(f"{self.kind} intent needs an sfc")
+            if self.tenant_id < 0:
+                raise FrontendError(f"bad tenant id {self.tenant_id}")
+        elif self.kind in SWITCH_KINDS:
+            if not self.switch:
+                raise FrontendError(f"{self.kind} intent needs a switch")
+        else:
+            raise FrontendError(f"unknown intent kind {self.kind!r}")
+
+
+class IntentTicket:
+    """A tiny future: resolved by the worker that executed the intent."""
+
+    def __init__(self, intent: Intent) -> None:
+        self.intent = intent
+        self._done = threading.Event()
+        self._result = None
+        self._error: BaseException | None = None
+
+    def resolve(self, result) -> None:
+        """Worker-side: record the op result and wake waiters."""
+        self._result = result
+        self._done.set()
+
+    def fail(self, error: BaseException) -> None:
+        """Worker-side: record an execution error and wake waiters."""
+        self._error = error
+        self._done.set()
+
+    def done(self) -> bool:
+        """Whether the intent has executed (successfully or not)."""
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None):
+        """Block until the intent executed; re-raise worker errors."""
+        if not self._done.wait(timeout):
+            raise FrontendError(
+                f"intent #{self.intent.seq} ({self.intent.kind}) timed out"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class IntentQueue:
+    """Bounded per-key FIFOs + the round-robin ready ring (see module
+    docstring for the guarantees)."""
+
+    def __init__(self, capacity: int = 4096, per_tenant: int = 64) -> None:
+        if capacity < 1:
+            raise FrontendError("capacity must be >= 1")
+        if per_tenant < 1:
+            raise FrontendError("per_tenant must be >= 1")
+        self.capacity = capacity
+        self.per_tenant = per_tenant
+        self._cv = threading.Condition()
+        self._fifos: dict[tuple, deque] = {}
+        #: Keys with a queued head and no intent in flight, service order.
+        self._ready: deque[tuple] = deque()
+        self._in_flight: set[tuple] = set()
+        self._size = 0
+        self._accepting = True
+        self._closed = False
+        # -- counters (read via snapshot) --------------------------------
+        self.submitted = 0
+        self.completed = 0
+        self.rejected_full = 0
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def submit(self, intent: Intent) -> IntentTicket:
+        """Enqueue one intent; returns its ticket.  Raises
+        :class:`QueueFullError` on backpressure and
+        :class:`FrontendError` once draining/closed."""
+        intent.validate()
+        ticket = IntentTicket(intent)
+        with self._cv:
+            if not self._accepting:
+                raise FrontendError("intent queue is draining or closed")
+            if self._size >= self.capacity:
+                self.rejected_full += 1
+                raise QueueFullError(
+                    f"intent queue full ({self.capacity} queued)"
+                )
+            key = intent.key
+            fifo = self._fifos.get(key)
+            if fifo is None:
+                fifo = self._fifos[key] = deque()
+            if len(fifo) >= self.per_tenant:
+                self.rejected_full += 1
+                raise QueueFullError(
+                    f"tenant queue full ({self.per_tenant} queued for "
+                    f"{key[0]} {key[1]})"
+                )
+            fifo.append(ticket)
+            self._size += 1
+            self.submitted += 1
+            if len(fifo) == 1 and key not in self._in_flight:
+                self._ready.append(key)
+            self._cv.notify_all()
+        return ticket
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def take(
+        self,
+        switch: str,
+        route: Callable[[Intent], str | None],
+        timeout: float = 0.1,
+    ) -> IntentTicket | None:
+        """Claim the next head-of-line intent for ``switch``.
+
+        Scans the ready ring in service order and returns the first
+        ticket whose head intent routes to ``switch`` — or routes to no
+        live shard at all (``route`` returned ``None``), which any worker
+        may execute.  Marks the key in flight (the per-tenant exclusivity
+        the fabric's fast paths rely on).  Returns ``None`` on timeout,
+        or when the queue is closed and empty (the worker's exit signal).
+        """
+        with self._cv:
+            while True:
+                for _ in range(len(self._ready)):
+                    key = self._ready[0]
+                    ticket = self._fifos[key][0]
+                    target = route(ticket.intent)
+                    if target is None or target == switch:
+                        self._ready.popleft()
+                        self._fifos[key].popleft()
+                        self._in_flight.add(key)
+                        ticket.intent.routed_to = target
+                        return ticket
+                    # Head routed elsewhere: rotate so the scan is fair
+                    # and another shard's worker finds it at the front.
+                    self._ready.rotate(-1)
+                if self._closed and self._size == 0:
+                    return None
+                if not self._cv.wait(timeout):
+                    return None
+
+    def complete(self, ticket: IntentTicket) -> None:
+        """Worker-side bookkeeping after the intent executed (success or
+        failure): release the key's in-flight slot and, if more intents
+        are queued for it, re-enter the ready ring at the tail."""
+        key = ticket.intent.key
+        with self._cv:
+            self._in_flight.discard(key)
+            self._size -= 1
+            self.completed += 1
+            fifo = self._fifos.get(key)
+            if fifo:
+                self._ready.append(key)
+            elif fifo is not None:
+                del self._fifos[key]
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Stop accepting new intents; queued intents keep executing."""
+        with self._cv:
+            self._accepting = False
+            self._cv.notify_all()
+
+    def close(self) -> None:
+        """Drain and mark closed — workers exit once the backlog is
+        empty."""
+        with self._cv:
+            self._accepting = False
+            self._closed = True
+            self._cv.notify_all()
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Block until every queued intent has completed (including the
+        in-flight ones); returns whether the queue emptied in time."""
+        deadline = None if timeout is None else timeout
+        with self._cv:
+            return self._cv.wait_for(lambda: self._size == 0, deadline)
+
+    @property
+    def finished(self) -> bool:
+        """Closed with an empty backlog — the workers' exit condition."""
+        with self._cv:
+            return self._closed and self._size == 0
+
+    def snapshot(self) -> dict:
+        """JSON-native queue state (the server's ``/v1/queue`` payload)."""
+        with self._cv:
+            return {
+                "queued": self._size,
+                "in_flight": len(self._in_flight),
+                "tenants_waiting": len(self._ready),
+                "accepting": self._accepting,
+                "closed": self._closed,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "rejected_full": self.rejected_full,
+                "capacity": self.capacity,
+                "per_tenant": self.per_tenant,
+            }
+
+    def __len__(self) -> int:
+        with self._cv:
+            return self._size

@@ -1,0 +1,196 @@
+"""Shard workers: one thread per fabric switch, single writer per shard.
+
+:class:`ShardWorkerPool` spawns one :class:`ShardWorker` per switch.  Each
+worker pulls intents routed to its shard from the shared
+:class:`~repro.frontend.queue.IntentQueue` and drives them through the
+orchestrator's single-shard fast paths
+(:meth:`~repro.fabric.orchestrator.FabricOrchestrator.admit_local` and
+friends), so admissions on different shards run concurrently: while one
+worker's WAL fdatasync is parked in the kernel (the GIL is released for
+the syscall), the other workers keep admitting, and concurrent committers
+on the shared fabric journal ride the WAL's leader-based group commit.
+
+The **single-writer rule**: a shard's state is only ever mutated by its
+own worker's fast paths — or by a cross-shard intent (spillover,
+stitching, drain) that any worker executes through the public fabric
+methods, which take every shard lock in sorted-name order.  A fast path
+holds exactly one shard lock and a cross-shard op holds them all, so the
+two can never interleave on a shard, and the sorted acquisition order
+makes cross-shard ops deadlock-free among themselves.
+
+Starting the pool flips the fabric into concurrent mode: journaled
+records stop embedding the fabric-wide digest (it reads every shard —
+unreadable consistently under one shard lock) and auto-checkpoints are
+suspended (they read the whole fabric; checkpoint at a quiesce point
+instead).  :meth:`ShardWorkerPool.stop` restores both after the queue
+drains — a stopped pool leaves the fabric exactly as serial callers
+expect it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import FrontendError
+from repro.fabric.orchestrator import FabricOrchestrator
+from repro.frontend.queue import Intent, IntentQueue, IntentTicket
+
+
+class ShardWorker(threading.Thread):
+    """One shard's intent executor (see the module docstring)."""
+
+    def __init__(
+        self, pool: "ShardWorkerPool", switch: str, take_timeout: float
+    ) -> None:
+        super().__init__(name=f"sfp-worker-{switch}", daemon=True)
+        self.pool = pool
+        self.switch = switch
+        self.take_timeout = take_timeout
+        self.executed = 0
+        self.escalated = 0
+
+    # -- routing -------------------------------------------------------
+    def route(self, intent: Intent) -> str | None:
+        """The shard this intent belongs to: the partitioner's first
+        choice for admits, the home shard for evict/modify.  ``None``
+        (stitched tenants, unknown tenants, operator intents, all
+        drained) means any worker may run it via the escalated path."""
+        fabric = self.pool.fabric
+        if intent.kind == "admit":
+            assert intent.sfc is not None
+            return fabric.preferred_switch(intent.sfc)
+        if intent.kind in ("evict", "modify"):
+            return fabric.home_switch(intent.tenant_id)
+        return None
+
+    # -- execution -----------------------------------------------------
+    def execute(self, intent: Intent):
+        """Run one intent: fast path when routed here, escalation to the
+        fabric-wide lock order otherwise (or when the fast path defers)."""
+        fabric = self.pool.fabric
+        if intent.kind == "admit":
+            assert intent.sfc is not None
+            if intent.routed_to is not None:
+                result = fabric.admit_local(intent.sfc, intent.routed_to)
+                if result is not None:
+                    return result
+            self.escalated += 1
+            return fabric.admit(intent.sfc)
+        if intent.kind == "evict":
+            result = fabric.evict_local(intent.tenant_id)
+            if result is not None:
+                return result
+            self.escalated += 1
+            return fabric.evict(intent.tenant_id)
+        if intent.kind == "modify":
+            assert intent.sfc is not None
+            result = fabric.modify_local(intent.tenant_id, intent.sfc)
+            if result is not None:
+                return result
+            self.escalated += 1
+            return fabric.modify(intent.tenant_id, intent.sfc)
+        if intent.kind == "drain":
+            assert intent.switch is not None
+            self.escalated += 1
+            return fabric.drain(intent.switch)
+        if intent.kind == "undrain":
+            assert intent.switch is not None
+            self.escalated += 1
+            return fabric.undrain(intent.switch)
+        raise FrontendError(f"unknown intent kind {intent.kind!r}")
+
+    def run(self) -> None:  # pragma: no cover — exercised via the pool
+        queue = self.pool.queue
+        metrics = self.pool.fabric.metrics
+        while True:
+            ticket = queue.take(self.switch, self.route, self.take_timeout)
+            if ticket is None:
+                if queue.finished:
+                    return
+                continue
+            try:
+                result = self.execute(ticket.intent)
+            except BaseException as exc:  # noqa: BLE001 — ticket carries it
+                ticket.fail(exc)
+                metrics.inc("frontend.intent_errors")
+            else:
+                ticket.resolve(result)
+                self.executed += 1
+                metrics.inc("frontend.intents_executed")
+                metrics.inc(f"frontend.intents_executed.{self.switch}")
+            finally:
+                queue.complete(ticket)
+
+
+class ShardWorkerPool:
+    """The worker fleet plus the fabric's concurrent-mode switchery."""
+
+    def __init__(
+        self,
+        fabric: FabricOrchestrator,
+        queue: IntentQueue | None = None,
+        take_timeout: float = 0.05,
+    ) -> None:
+        self.fabric = fabric
+        self.queue = queue if queue is not None else IntentQueue()
+        self.take_timeout = take_timeout
+        self.workers: list[ShardWorker] = []
+        self._running = False
+        self._saved_journal_digests = True
+        self._saved_auto_checkpoints = True
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.fabric.topology.switch_names)
+
+    def start(self) -> "ShardWorkerPool":
+        """Spawn one worker per switch and flip the fabric into
+        concurrent mode (no journaled digests, no auto-checkpoints)."""
+        if self._running:
+            raise FrontendError("worker pool already running")
+        self._saved_journal_digests = self.fabric.journal_digests
+        self.fabric.journal_digests = False
+        if self.fabric.durability is not None:
+            self._saved_auto_checkpoints = self.fabric.durability.auto_checkpoints
+            self.fabric.durability.auto_checkpoints = False
+        self.workers = [
+            ShardWorker(self, name, self.take_timeout)
+            for name in self.fabric.topology.switch_names
+        ]
+        self._running = True
+        for worker in self.workers:
+            worker.start()
+        return self
+
+    def submit(self, intent: Intent) -> IntentTicket:
+        """Enqueue one intent (the in-process client calls this)."""
+        return self.queue.submit(intent)
+
+    def stop(self, timeout: float | None = 30.0) -> None:
+        """Graceful shutdown: stop accepting, drain the backlog, join the
+        workers, and restore the fabric's serial-mode journaling flags.
+        The post-stop fabric is at a quiesce point — safe to digest,
+        checkpoint, and audit."""
+        if not self._running:
+            return
+        self.queue.close()
+        drained = self.queue.join(timeout)
+        for worker in self.workers:
+            worker.join(timeout)
+        self._running = False
+        self.fabric.journal_digests = self._saved_journal_digests
+        if self.fabric.durability is not None:
+            self.fabric.durability.auto_checkpoints = self._saved_auto_checkpoints
+        if not drained:
+            raise FrontendError("worker pool stop timed out with a backlog")
+
+    def snapshot(self) -> dict:
+        """JSON-native pool state (per-worker execution counts)."""
+        return {
+            "running": self._running,
+            "workers": {
+                w.switch: {"executed": w.executed, "escalated": w.escalated}
+                for w in self.workers
+            },
+            "queue": self.queue.snapshot(),
+        }

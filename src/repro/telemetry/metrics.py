@@ -16,6 +16,12 @@ the ``sfp controller`` / ``sfp fabric`` CLIs print, and
 :func:`repro.telemetry.export.render_prometheus` renders in Prometheus text
 format.
 
+Every metric is **thread-safe**: counters, gauges, and histograms each
+carry their own mutex and the registry serializes get-or-create and
+snapshots, so the concurrent front end's shard workers
+(:mod:`repro.frontend.workers`) can hammer one shared registry without
+corrupting counts or tearing snapshots mid-update.
+
 Historically this module lived at ``repro.controller.metrics``; that path
 remains as a re-export shim.
 """
@@ -23,6 +29,7 @@ remains as a re-export shim.
 from __future__ import annotations
 
 import bisect
+import threading
 from dataclasses import dataclass, field
 from time import perf_counter
 
@@ -39,28 +46,36 @@ DEFAULT_LATENCY_BUCKETS = (
 
 @dataclass
 class Counter:
-    """A monotonically increasing counter."""
+    """A monotonically increasing counter (thread-safe)."""
 
     name: str
     value: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def inc(self, n: int = 1) -> None:
         """Add ``n`` (>= 0) to the counter."""
         if n < 0:
             raise PlacementError(f"counter {self.name!r}: negative increment {n}")
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 @dataclass
 class Gauge:
-    """A gauge holding the latest observed value."""
+    """A gauge holding the latest observed value (thread-safe)."""
 
     name: str
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def set(self, value: float) -> None:
         """Record the latest observation."""
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
 
 class Histogram:
@@ -91,14 +106,16 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)
         self.count = 0
         self.sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation (bucket bounds are inclusive, Prometheus
         ``le`` style)."""
         value = float(value)
-        self.counts[bisect.bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.sum += value
+        with self._lock:
+            self.counts[bisect.bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.sum += value
 
     def quantile(self, q: float) -> float | None:
         """The ``q``-th percentile (``q`` in [0, 100], matching
@@ -107,11 +124,20 @@ class Histogram:
         bound.  ``None`` when nothing has been observed — never NaN."""
         if not 0.0 <= q <= 100.0:
             raise PlacementError(f"histogram {self.name!r}: percentile {q}")
-        if self.count == 0:
+        with self._lock:
+            counts = list(self.counts)
+            count = self.count
+        return self._quantile_from(counts, count, q)
+
+    def _quantile_from(
+        self, counts: list[int], count: int, q: float
+    ) -> float | None:
+        """The quantile over one consistent ``(counts, count)`` copy."""
+        if count == 0:
             return None
-        rank = q / 100.0 * self.count
+        rank = q / 100.0 * count
         cumulative = 0
-        for idx, bucket_count in enumerate(self.counts):
+        for idx, bucket_count in enumerate(counts):
             if bucket_count == 0:
                 continue
             lo = 0.0 if idx == 0 else self.bounds[idx - 1]
@@ -127,16 +153,22 @@ class Histogram:
     def snapshot(self) -> dict:
         """Plain JSON-native form: count, sum, p50/p99 estimates, and the
         ``[upper_bound, count]`` rows (overflow bound serialized as
-        ``None`` so the JSON stays standard)."""
+        ``None`` so the JSON stays standard).  The copy is taken under the
+        histogram mutex, so a snapshot racing concurrent ``observe`` calls
+        is still internally consistent (buckets sum to ``count``)."""
+        with self._lock:
+            counts = list(self.counts)
+            count = self.count
+            total = self.sum
         rows = [
-            [self.bounds[i] if i < len(self.bounds) else None, self.counts[i]]
-            for i in range(len(self.counts))
+            [self.bounds[i] if i < len(self.bounds) else None, counts[i]]
+            for i in range(len(counts))
         ]
         return {
-            "count": self.count,
-            "sum": self.sum,
-            "p50": self.quantile(50),
-            "p99": self.quantile(99),
+            "count": count,
+            "sum": total,
+            "p50": self._quantile_from(counts, count, 50),
+            "p99": self._quantile_from(counts, count, 99),
             "buckets": rows,
         }
 
@@ -197,19 +229,28 @@ class MetricsRegistry:
     counters: dict[str, Counter] = field(default_factory=dict)
     gauges: dict[str, Gauge] = field(default_factory=dict)
     histograms: dict[str, Histogram] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def counter(self, name: str) -> Counter:
         """The counter called ``name``, created at zero on first use."""
         counter = self.counters.get(name)
         if counter is None:
-            counter = self.counters[name] = Counter(name)
+            with self._lock:
+                counter = self.counters.get(name)
+                if counter is None:
+                    counter = self.counters[name] = Counter(name)
         return counter
 
     def gauge(self, name: str) -> Gauge:
         """The gauge called ``name``, created at zero on first use."""
         gauge = self.gauges.get(name)
         if gauge is None:
-            gauge = self.gauges[name] = Gauge(name)
+            with self._lock:
+                gauge = self.gauges.get(name)
+                if gauge is None:
+                    gauge = self.gauges[name] = Gauge(name)
         return gauge
 
     def histogram(
@@ -220,9 +261,13 @@ class MetricsRegistry:
         existing bounds)."""
         histogram = self.histograms.get(name)
         if histogram is None:
-            histogram = self.histograms[name] = Histogram(
-                name, buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS
-            )
+            with self._lock:
+                histogram = self.histograms.get(name)
+                if histogram is None:
+                    histogram = self.histograms[name] = Histogram(
+                        name,
+                        buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS,
+                    )
         return histogram
 
     def inc(self, name: str, n: int = 1) -> None:
@@ -246,10 +291,14 @@ class MetricsRegistry:
         "histograms": {...}}`` — plain dicts of JSON-native values with
         names sorted, so serialized snapshots are deterministic and diff
         cleanly."""
+        with self._lock:
+            counters = dict(self.counters)
+            gauges = dict(self.gauges)
+            histograms = dict(self.histograms)
         return {
-            "counters": {n: self.counters[n].value for n in sorted(self.counters)},
-            "gauges": {n: self.gauges[n].value for n in sorted(self.gauges)},
+            "counters": {n: counters[n].value for n in sorted(counters)},
+            "gauges": {n: gauges[n].value for n in sorted(gauges)},
             "histograms": {
-                n: self.histograms[n].snapshot() for n in sorted(self.histograms)
+                n: histograms[n].snapshot() for n in sorted(histograms)
             },
         }

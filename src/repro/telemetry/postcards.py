@@ -24,6 +24,7 @@ pipeline can import it without cycles.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -188,6 +189,9 @@ class PostcardCollector:
         #: Recent postcards, oldest evicted first.
         self.cards: deque[PacketPostcard] = deque(maxlen=capacity)
         self.recorder = recorder
+        # Counters and the ring are mutated under one mutex so concurrent
+        # shard workers can share a collector without losing samples.
+        self._lock = threading.Lock()
         # -- counters ---------------------------------------------------
         self.packets_seen = 0
         self.postcards_sampled = 0
@@ -198,18 +202,25 @@ class PostcardCollector:
 
     def should_sample(self) -> bool:
         """Advance the packet counter; True on every N-th packet."""
-        self.packets_seen += 1
-        return self.sample_every > 0 and self.packets_seen % self.sample_every == 0
+        with self._lock:
+            self.packets_seen += 1
+            return (
+                self.sample_every > 0
+                and self.packets_seen % self.sample_every == 0
+            )
 
     def record(self, card: PacketPostcard) -> None:
         """Retain one finished postcard and update the counters."""
-        self.postcards_sampled += 1
-        self.recirculations_observed += card.recirculations
-        if card.dropped:
-            self.drops_observed += 1
-        self.by_switch[card.switch] = self.by_switch.get(card.switch, 0) + 1
-        self.by_tenant[card.tenant_id] = self.by_tenant.get(card.tenant_id, 0) + 1
-        self.cards.append(card)
+        with self._lock:
+            self.postcards_sampled += 1
+            self.recirculations_observed += card.recirculations
+            if card.dropped:
+                self.drops_observed += 1
+            self.by_switch[card.switch] = self.by_switch.get(card.switch, 0) + 1
+            self.by_tenant[card.tenant_id] = (
+                self.by_tenant.get(card.tenant_id, 0) + 1
+            )
+            self.cards.append(card)
         if self.recorder is not None:
             self.recorder.add("postcard", card.to_dict())
 
@@ -219,30 +230,31 @@ class PostcardCollector:
         """Fold the collector's counters into ``registry`` as gauges (the
         collector is the source of truth; publishing is idempotent), under
         ``<prefix>.*`` with per-switch / per-tenant dotted suffixes."""
-        registry.gauge(f"{prefix}.packets_seen").set(self.packets_seen)
-        registry.gauge(f"{prefix}.postcards_sampled").set(self.postcards_sampled)
-        registry.gauge(f"{prefix}.recirculations_observed").set(
-            self.recirculations_observed
+        snap = self.snapshot()
+        registry.gauge(f"{prefix}.packets_seen").set(snap["packets_seen"])
+        registry.gauge(f"{prefix}.postcards_sampled").set(
+            snap["postcards_sampled"]
         )
-        registry.gauge(f"{prefix}.drops_observed").set(self.drops_observed)
-        for switch in sorted(self.by_switch):
-            registry.gauge(f"{prefix}.postcards_sampled.{switch}").set(
-                self.by_switch[switch]
-            )
-        for tenant in sorted(self.by_tenant):
-            registry.gauge(f"{prefix}.postcards_sampled.tenant.{tenant}").set(
-                self.by_tenant[tenant]
-            )
+        registry.gauge(f"{prefix}.recirculations_observed").set(
+            snap["recirculations_observed"]
+        )
+        registry.gauge(f"{prefix}.drops_observed").set(snap["drops_observed"])
+        for switch, n in snap["by_switch"].items():
+            registry.gauge(f"{prefix}.postcards_sampled.{switch}").set(n)
+        for tenant, n in snap["by_tenant"].items():
+            registry.gauge(f"{prefix}.postcards_sampled.tenant.{tenant}").set(n)
 
     def snapshot(self) -> dict:
-        """JSON-native counter snapshot (``sfp trace`` prints this)."""
-        return {
-            "packets_seen": self.packets_seen,
-            "postcards_sampled": self.postcards_sampled,
-            "recirculations_observed": self.recirculations_observed,
-            "drops_observed": self.drops_observed,
-            "by_switch": dict(sorted(self.by_switch.items())),
-            "by_tenant": {
-                str(t): n for t, n in sorted(self.by_tenant.items())
-            },
-        }
+        """JSON-native counter snapshot (``sfp trace`` prints this), taken
+        atomically under the collector mutex."""
+        with self._lock:
+            return {
+                "packets_seen": self.packets_seen,
+                "postcards_sampled": self.postcards_sampled,
+                "recirculations_observed": self.recirculations_observed,
+                "drops_observed": self.drops_observed,
+                "by_switch": dict(sorted(self.by_switch.items())),
+                "by_tenant": {
+                    str(t): n for t, n in sorted(self.by_tenant.items())
+                },
+            }

@@ -20,6 +20,7 @@ tenant could not be re-homed.  Snapped dumps are retained (bounded) on
 from __future__ import annotations
 
 import json
+import threading
 from collections import deque
 from pathlib import Path
 from time import monotonic_ns
@@ -40,20 +41,24 @@ class FlightRecorder:
         self.events_recorded = 0
         self.dumps_snapped = 0
         self._seq = 0
+        # Sequence numbers, counters, and ring appends share one mutex so
+        # concurrent shard workers can feed the same recorder.
+        self._lock = threading.Lock()
 
     def add(self, kind: str, data: dict) -> None:
         """Append one event.  ``kind`` is a short tag (``"span"``,
         ``"postcard"``, ``"state"``); ``data`` must be JSON-native."""
-        self._seq += 1
-        self.events_recorded += 1
-        self.events.append(
-            {
-                "seq": self._seq,
-                "monotonic_ns": monotonic_ns(),
-                "kind": kind,
-                "data": data,
-            }
-        )
+        with self._lock:
+            self._seq += 1
+            self.events_recorded += 1
+            self.events.append(
+                {
+                    "seq": self._seq,
+                    "monotonic_ns": monotonic_ns(),
+                    "kind": kind,
+                    "data": data,
+                }
+            )
 
     def record_state(self, event: str, **fields: object) -> None:
         """Shorthand for a state-transition event (admit/evict/drain/...)."""
@@ -63,20 +68,22 @@ class FlightRecorder:
     def dump(self, reason: str = "manual", **context: object) -> dict:
         """Freeze the current ring tail into one JSON-native dict (oldest
         event first), without retaining it."""
-        return {
-            "reason": reason,
-            "context": dict(context),
-            "events_recorded": self.events_recorded,
-            "events": [dict(e) for e in self.events],
-        }
+        with self._lock:
+            return {
+                "reason": reason,
+                "context": dict(context),
+                "events_recorded": self.events_recorded,
+                "events": [dict(e) for e in self.events],
+            }
 
     def snap(self, reason: str, **context: object) -> dict:
         """Like :meth:`dump` but retains the dump on :attr:`dumps` — what
         the fabric's failure paths call so post-mortems survive the
         moment."""
         snapped = self.dump(reason, **context)
-        self.dumps.append(snapped)
-        self.dumps_snapped += 1
+        with self._lock:
+            self.dumps.append(snapped)
+            self.dumps_snapped += 1
         return snapped
 
     def dump_to(self, path: str | Path, reason: str = "manual",

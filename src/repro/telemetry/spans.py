@@ -2,9 +2,15 @@
 
 A :class:`Tracer` hands out :class:`Span` context managers with monotonic
 ``perf_counter_ns`` clocks and automatic parent/child linkage through a
-current-span stack (the control plane is single-threaded per event, so a
-stack is the whole story).  One ``FabricOrchestrator.admit`` with a tracer
-attached therefore yields one *connected* tree::
+current-span stack.  The stack is **per-thread** (``threading.local``):
+every control-plane event runs on one thread, so within a thread a stack is
+the whole story, and the concurrent front end's shard workers each nest
+their own fabric → controller → installer cascade without interleaving
+parentage across workers.  Span-id allocation and the finished ring are
+mutex-guarded, so one tracer may serve many workers; single-threaded runs
+produce byte-identical exports to the pre-concurrency tracer.  One
+``FabricOrchestrator.admit`` with a tracer attached therefore yields one
+*connected* tree::
 
     fabric.admit
       controller.admit
@@ -28,6 +34,7 @@ no-op span when it is ``None``, keeping the disabled cost to one branch.
 from __future__ import annotations
 
 import json
+import threading
 from collections import deque
 from time import perf_counter_ns
 from typing import TYPE_CHECKING
@@ -171,50 +178,71 @@ class Tracer:
         self.metrics = metrics
         self.recorder = recorder
         self.spans_started = 0
-        self._stack: list[Span] = []
+        # Span stacks are per-thread so cascaded fabric -> shard spans on
+        # concurrent workers cannot interleave parentage across threads;
+        # id allocation and the finished ring are shared, under a mutex.
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._next_id = 1
         self._next_trace = 1
 
+    @property
+    def _stack(self) -> list[Span]:
+        """The calling thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
     # ------------------------------------------------------------------
     def span(self, name: str, **attrs: object) -> Span:
-        """Open a child of the current span (or a new root trace)."""
-        parent = self._stack[-1] if self._stack else None
-        if parent is None:
-            trace_id = self._next_trace
-            self._next_trace += 1
-        else:
-            trace_id = parent.trace_id
+        """Open a child of the calling thread's current span (or a new
+        root trace)."""
+        stack = self._stack
+        parent = stack[-1] if stack else None
+        with self._lock:
+            if parent is None:
+                trace_id = self._next_trace
+                self._next_trace += 1
+            else:
+                trace_id = parent.trace_id
+            span_id = self._next_id
+            self._next_id += 1
+            self.spans_started += 1
         span = Span(
             name=name,
-            span_id=self._next_id,
+            span_id=span_id,
             trace_id=trace_id,
             parent_id=None if parent is None else parent.span_id,
             start_ns=perf_counter_ns(),
             tracer=self,
         )
-        self._next_id += 1
-        self.spans_started += 1
         if attrs:
             span.attrs.update(attrs)
-        self._stack.append(span)
+        stack.append(span)
         return span
 
     def _finish(self, span: Span) -> None:
         span.end_ns = perf_counter_ns()
         # Tolerate out-of-order exits defensively: pop through the span.
-        while self._stack:
-            top = self._stack.pop()
+        # Spans finish on the thread that opened them, so only the calling
+        # thread's stack is touched.
+        stack = self._stack
+        while stack:
+            top = stack.pop()
             if top is span:
                 break
-        self.finished.append(span)
+        with self._lock:
+            self.finished.append(span)
         if self.metrics is not None:
             self.metrics.observe(f"span_latency_s.{span.name}", span.duration_s)
         if self.recorder is not None:
             self.recorder.add("span", span.to_dict())
 
     def current(self) -> Span | None:
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The calling thread's innermost open span, if any."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     def clear(self) -> None:
         """Drop retained spans (open spans are unaffected)."""

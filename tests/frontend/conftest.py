@@ -1,0 +1,42 @@
+"""Shared fixtures for the front-end tests: a small 4-switch fabric and
+the deterministic chain factory the fabric suite uses."""
+
+import pytest
+
+from repro.core.spec import SFC, SwitchSpec
+from repro.fabric import FabricOrchestrator, FabricTopology
+
+
+@pytest.fixture
+def spec() -> SwitchSpec:
+    """Roomy enough that dozens of small chains fit on each switch."""
+    return SwitchSpec(
+        stages=4,
+        blocks_per_stage=8,
+        block_bits=6400,
+        rule_bits=64,
+        capacity_gbps=100.0,
+    )
+
+
+@pytest.fixture
+def fabric(spec) -> FabricOrchestrator:
+    """4 switches, full mesh, no simulated data plane (speed)."""
+    topo = FabricTopology.full_mesh(4, spec=spec)
+    return FabricOrchestrator(topo, num_types=3, with_dataplane=False)
+
+
+def chain(
+    tenant_id: int,
+    nf_types=(1, 2, 3),
+    rules=(10, 10, 10),
+    bandwidth_gbps: float = 1.0,
+) -> SFC:
+    """A small deterministic chain request for tenant ``tenant_id``."""
+    return SFC(
+        name=f"tenant-{tenant_id}",
+        nf_types=tuple(nf_types),
+        rules=tuple(rules),
+        bandwidth_gbps=bandwidth_gbps,
+        tenant_id=tenant_id,
+    )

@@ -1,0 +1,128 @@
+"""Thread-hammer regression tests for the telemetry layer (the front
+end's shard workers share one MetricsRegistry / PostcardCollector /
+Tracer / FlightRecorder): counts must be exact under contention, and
+span parentage must stay per-thread."""
+
+import threading
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.postcards import PacketPostcard, PostcardCollector
+from repro.telemetry.recorder import FlightRecorder
+from repro.telemetry.spans import Tracer
+
+THREADS = 8
+ROUNDS = 400
+
+
+def hammer(worker) -> None:
+    """Run ``worker(thread_index)`` on THREADS threads, join them all."""
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+def test_metrics_registry_counts_are_exact_under_threads():
+    registry = MetricsRegistry()
+
+    def worker(i: int) -> None:
+        for n in range(ROUNDS):
+            registry.inc("ops")
+            registry.inc(f"ops.shard{i % 4}")
+            registry.observe("latency_s", n / ROUNDS)
+            registry.gauge("depth").set(float(n))
+
+    hammer(worker)
+    snap = registry.snapshot()
+    assert snap["counters"]["ops"] == THREADS * ROUNDS
+    assert (
+        sum(snap["counters"][f"ops.shard{s}"] for s in range(4))
+        == THREADS * ROUNDS
+    )
+    hist = snap["histograms"]["latency_s"]
+    assert hist["count"] == THREADS * ROUNDS
+    assert hist["p50"] is not None
+
+
+def test_postcard_collector_is_exact_under_threads():
+    collector = PostcardCollector(sample_every=1, capacity=64)
+
+    def worker(i: int) -> None:
+        for n in range(ROUNDS):
+            assert collector.should_sample()  # sample_every=1: every packet
+            card = PacketPostcard(switch=f"sw{i % 4}", tenant_id=i)
+            card.finish(passes=2, latency_ns=100.0, dropped=n % 2 == 0)
+            collector.record(card)
+
+    hammer(worker)
+    snap = collector.snapshot()
+    assert snap["packets_seen"] == THREADS * ROUNDS
+    assert snap["postcards_sampled"] == THREADS * ROUNDS
+    assert snap["recirculations_observed"] == THREADS * ROUNDS
+    assert snap["drops_observed"] == THREADS * ROUNDS // 2
+    assert sum(snap["by_switch"].values()) == THREADS * ROUNDS
+    assert len(collector.cards) == 64  # ring stayed bounded
+
+
+def test_flight_recorder_ring_under_threads():
+    recorder = FlightRecorder(capacity=128)
+
+    def worker(i: int) -> None:
+        for n in range(ROUNDS):
+            recorder.add("event", {"thread": i, "n": n})
+
+    hammer(worker)
+    assert len(recorder) == 128
+    dump = recorder.dump(reason="hammer")
+    assert len(dump["events"]) == 128
+
+
+def test_tracer_span_stacks_stay_per_thread():
+    tracer = Tracer(capacity=THREADS * ROUNDS * 2)
+
+    def worker(i: int) -> None:
+        for _ in range(ROUNDS):
+            with tracer.span(f"outer.{i}") as outer:
+                with tracer.span(f"inner.{i}") as inner:
+                    # Parentage must reflect THIS thread's stack even
+                    # while other threads nest their own spans.
+                    assert inner.parent_id == outer.span_id
+                    assert inner.trace_id == outer.trace_id
+                    assert tracer.current() is inner
+            assert tracer.current() is None
+
+    hammer(worker)
+    assert tracer.spans_started == THREADS * ROUNDS * 2
+    assert len(tracer.finished) == THREADS * ROUNDS * 2
+    # Span ids were allocated race-free: all distinct.
+    ids = [s.span_id for s in tracer.finished]
+    assert len(set(ids)) == len(ids)
+    # Every inner span's parent is its own thread's outer span.
+    by_id = {s.span_id: s for s in tracer.finished}
+    for span in tracer.finished:
+        if span.name.startswith("inner."):
+            parent = by_id[span.parent_id]
+            assert parent.name == "outer." + span.name.split(".")[1]
+            assert parent.trace_id == span.trace_id
+
+
+def test_tracer_single_thread_output_unchanged():
+    """Satellite guarantee: the per-thread stack refactor must not change
+    single-threaded traces — ids, parentage, and export shape."""
+    tracer = Tracer()
+    with tracer.span("admit", tenant=1):
+        with tracer.span("place"):
+            pass
+        with tracer.span("commit"):
+            pass
+    finished = list(tracer.finished)
+    assert [s.name for s in finished] == ["place", "commit", "admit"]
+    assert [s.span_id for s in finished] == [2, 3, 1]
+    assert [s.trace_id for s in finished] == [1, 1, 1]
+    assert [s.parent_id for s in finished] == [1, 1, None]
+    root = finished[-1].to_dict()
+    assert root["attrs"] == {"tenant": 1}
+    assert set(root) >= {"name", "span_id", "trace_id", "parent_id"}

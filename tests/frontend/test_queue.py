@@ -1,0 +1,179 @@
+"""IntentQueue unit tests: validation, bounds/backpressure, per-tenant
+program order, round-robin fairness, routing skips, and lifecycle."""
+
+import threading
+
+import pytest
+
+from repro.errors import FrontendError, QueueFullError
+from repro.frontend import Intent, IntentQueue
+
+from .conftest import chain
+
+
+def any_route(_intent) -> None:
+    """Router that claims every intent (single-worker tests)."""
+    return None
+
+
+def test_intent_validation_rejects_malformed_intents():
+    with pytest.raises(FrontendError):
+        Intent(kind="teleport").validate()
+    with pytest.raises(FrontendError):
+        Intent(kind="admit", tenant_id=1).validate()  # no sfc
+    with pytest.raises(FrontendError):
+        Intent(kind="modify", tenant_id=1).validate()  # no sfc
+    with pytest.raises(FrontendError):
+        Intent(kind="evict", tenant_id=-1).validate()
+    with pytest.raises(FrontendError):
+        Intent(kind="drain").validate()  # no switch
+    # The well-formed versions pass.
+    Intent(kind="admit", tenant_id=1, sfc=chain(1)).validate()
+    Intent(kind="evict", tenant_id=1).validate()
+    Intent(kind="drain", switch="sw0").validate()
+
+
+def test_intent_keys_separate_tenant_and_switch_fifos():
+    assert Intent(kind="evict", tenant_id=7).key == ("tenant", 7)
+    assert Intent(kind="drain", switch="sw1").key == ("switch", "sw1")
+
+
+def test_fifo_take_complete_roundtrip():
+    queue = IntentQueue()
+    first = queue.submit(Intent(kind="evict", tenant_id=1))
+    second = queue.submit(Intent(kind="evict", tenant_id=2))
+    got = queue.take("sw0", any_route, timeout=0.1)
+    assert got is first
+    queue.complete(got)
+    got = queue.take("sw0", any_route, timeout=0.1)
+    assert got is second
+    queue.complete(got)
+    assert len(queue) == 0
+    snap = queue.snapshot()
+    assert snap["submitted"] == 2 and snap["completed"] == 2
+
+
+def test_per_tenant_exclusivity_one_in_flight():
+    """A tenant's second intent must not be takeable while its first is
+    still in flight — no matter how many workers are pulling."""
+    queue = IntentQueue()
+    first = queue.submit(Intent(kind="evict", tenant_id=1))
+    queue.submit(Intent(kind="evict", tenant_id=1))
+    taken = queue.take("sw0", any_route, timeout=0.1)
+    assert taken is first
+    # Second worker finds nothing: tenant 1 is in flight.
+    assert queue.take("sw1", any_route, timeout=0.05) is None
+    queue.complete(taken)
+    # Completion releases the tenant; the queued intent becomes takeable.
+    second = queue.take("sw1", any_route, timeout=0.1)
+    assert second is not None and second.intent.tenant_id == 1
+    queue.complete(second)
+
+
+def test_round_robin_fairness_across_tenants():
+    """One chatty tenant cannot starve the rest: service order cycles
+    through ready tenants."""
+    queue = IntentQueue()
+    for _ in range(3):
+        queue.submit(Intent(kind="evict", tenant_id=1))
+    queue.submit(Intent(kind="evict", tenant_id=2))
+    queue.submit(Intent(kind="evict", tenant_id=3))
+    served = []
+    while len(queue):
+        ticket = queue.take("sw0", any_route, timeout=0.1)
+        served.append(ticket.intent.tenant_id)
+        queue.complete(ticket)
+    # Tenant 1 re-enters the ready ring at the tail after each completion.
+    assert served == [1, 2, 3, 1, 1]
+
+
+def test_global_capacity_backpressure():
+    queue = IntentQueue(capacity=2)
+    queue.submit(Intent(kind="evict", tenant_id=1))
+    queue.submit(Intent(kind="evict", tenant_id=2))
+    with pytest.raises(QueueFullError):
+        queue.submit(Intent(kind="evict", tenant_id=3))
+    assert queue.snapshot()["rejected_full"] == 1
+
+
+def test_per_tenant_capacity_backpressure():
+    queue = IntentQueue(capacity=100, per_tenant=2)
+    queue.submit(Intent(kind="evict", tenant_id=1))
+    queue.submit(Intent(kind="evict", tenant_id=1))
+    with pytest.raises(QueueFullError):
+        queue.submit(Intent(kind="evict", tenant_id=1))
+    # Other tenants are unaffected by one tenant's full FIFO.
+    queue.submit(Intent(kind="evict", tenant_id=2))
+
+
+def test_take_skips_intents_routed_elsewhere():
+    """A worker only claims heads routed to its shard (or unrouted)."""
+    queue = IntentQueue()
+    queue.submit(Intent(kind="evict", tenant_id=1))
+    queue.submit(Intent(kind="evict", tenant_id=2))
+
+    def route(intent):
+        return "sw0" if intent.tenant_id == 1 else "sw1"
+
+    ticket = queue.take("sw1", route, timeout=0.1)
+    assert ticket.intent.tenant_id == 2
+    assert ticket.intent.routed_to == "sw1"
+    other = queue.take("sw0", route, timeout=0.1)
+    assert other.intent.tenant_id == 1
+    queue.complete(ticket)
+    queue.complete(other)
+
+
+def test_drain_refuses_new_intents_but_executes_backlog():
+    queue = IntentQueue()
+    queued = queue.submit(Intent(kind="evict", tenant_id=1))
+    queue.drain()
+    with pytest.raises(FrontendError):
+        queue.submit(Intent(kind="evict", tenant_id=2))
+    ticket = queue.take("sw0", any_route, timeout=0.1)
+    assert ticket is queued
+    queue.complete(ticket)
+    assert len(queue) == 0
+
+
+def test_close_signals_workers_to_exit():
+    queue = IntentQueue()
+    assert not queue.finished
+    queue.close()
+    assert queue.finished
+    assert queue.take("sw0", any_route, timeout=0.05) is None
+
+
+def test_join_waits_for_inflight_completion():
+    queue = IntentQueue()
+    ticket = queue.submit(Intent(kind="evict", tenant_id=1))
+    taken = queue.take("sw0", any_route, timeout=0.1)
+    assert not queue.join(timeout=0.05)  # still in flight
+
+    def finish():
+        queue.complete(taken)
+
+    timer = threading.Timer(0.05, finish)
+    timer.start()
+    assert queue.join(timeout=2.0)
+    timer.join()
+    assert ticket.intent is taken.intent
+
+
+def test_ticket_timeout_and_error_propagation():
+    ticket = IntentQueue().submit(Intent(kind="evict", tenant_id=1))
+    with pytest.raises(FrontendError, match="timed out"):
+        ticket.result(timeout=0.01)
+    ticket.fail(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        ticket.result(timeout=0.1)
+    done = IntentQueue().submit(Intent(kind="evict", tenant_id=2))
+    done.resolve("ok")
+    assert done.done() and done.result(timeout=0.1) == "ok"
+
+
+def test_queue_rejects_bad_bounds():
+    with pytest.raises(FrontendError):
+        IntentQueue(capacity=0)
+    with pytest.raises(FrontendError):
+        IntentQueue(per_tenant=0)

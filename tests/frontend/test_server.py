@@ -1,0 +1,173 @@
+"""FrontendServer HTTP tests: route coverage, error mapping (400/404/429/
+503), and graceful shutdown with a quiesce checkpoint."""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.errors import FrontendError, QueueFullError
+from repro.frontend import (
+    FrontendServer,
+    HttpFrontendClient,
+    Intent,
+    IntentQueue,
+)
+from repro.frontend.workers import ShardWorker
+
+from .conftest import chain
+
+
+@pytest.fixture
+def server(fabric):
+    server = FrontendServer(fabric, port=0).start()
+    yield server
+    server.close(timeout=10.0)
+
+
+@pytest.fixture
+def client(server):
+    return HttpFrontendClient(server.url, timeout=10.0)
+
+
+def test_health_and_introspection_routes(server, client):
+    health = client.health()
+    assert health["ok"] and not health["draining"]
+    assert client.summary()["tenants"] == 0
+    queue = client.queue()
+    assert queue["running"] and len(queue["workers"]) == 4
+    assert "counters" in client.metrics()
+
+
+def test_tenant_lifecycle_over_http(fabric, client):
+    admitted = client.admit(chain(1))
+    assert admitted["ok"] and admitted["switches"]
+    dup = client.admit(chain(1))
+    assert not dup["ok"] and dup["reason"] == "duplicate-tenant"
+    modified = client.modify(1, chain(1, rules=(20, 20, 20)))
+    assert modified["ok"]
+    evicted = client.evict(1)
+    assert evicted["ok"]
+    missing = client.evict(1)
+    assert not missing["ok"] and missing["reason"] == "unknown-tenant"
+    assert fabric.tenants == {}
+
+
+def test_drain_and_undrain_over_http(fabric, client):
+    for t in range(8):
+        assert client.admit(chain(t))["ok"]
+    victim = fabric.tenants[0].switches[0]
+    report = client.drain(victim)
+    assert report["ok"] and report["op"] == "drain"
+    assert report["switch"] == victim
+    undrained = client.undrain(victim)
+    assert undrained["ok"]
+
+
+def test_unknown_routes_404(server, client):
+    for method, path in [
+        ("GET", "/nope"),
+        ("POST", "/v1/frobnicate"),
+        ("PUT", "/v1/tenants"),
+        ("DELETE", "/v1/tenants/1/extra"),
+    ]:
+        with pytest.raises(FrontendError, match="-> 404"):
+            client._request(method, path, {} if method != "GET" else None)
+
+
+def test_malformed_requests_400(server, client):
+    with pytest.raises(FrontendError, match="-> 400"):
+        client._request("POST", "/v1/tenants", {"sfc": "not-an-object"})
+    with pytest.raises(FrontendError, match="-> 400"):
+        client._request("POST", "/v1/tenants", {})
+    with pytest.raises(FrontendError, match="-> 400"):
+        client._request("DELETE", "/v1/tenants/banana")
+    # Raw non-JSON body.
+    request = urllib.request.Request(
+        f"{server.url}/v1/tenants", data=b"{nope", method="POST"
+    )
+    try:
+        urllib.request.urlopen(request, timeout=10.0)
+        raise AssertionError("expected HTTP 400")
+    except urllib.error.HTTPError as exc:
+        assert exc.code == 400
+        assert "bad JSON" in json.loads(exc.read())["error"]
+
+
+def test_backpressure_maps_to_429(fabric, monkeypatch):
+    """Stall the workers, fill one tenant's FIFO, and watch the server
+    push back with 429 + Retry-After instead of queueing unboundedly."""
+    gate = threading.Event()
+    original = ShardWorker.execute
+
+    def gated(self, intent):
+        gate.wait(timeout=10.0)
+        return original(self, intent)
+
+    monkeypatch.setattr(ShardWorker, "execute", gated)
+    server = FrontendServer(
+        fabric, port=0, queue=IntentQueue(capacity=64, per_tenant=1)
+    ).start()
+    try:
+        client = HttpFrontendClient(server.url, timeout=10.0)
+        background = threading.Thread(
+            target=client.admit, args=(chain(7),), daemon=True
+        )
+        background.start()  # blocks in the gated worker
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if server.queue.snapshot()["in_flight"] == 1:
+                break
+            time.sleep(0.01)
+        assert server.queue.snapshot()["in_flight"] == 1
+        # FIFO slot 1/1 for tenant 7...
+        server.pool.submit(Intent(kind="evict", tenant_id=7))
+        # ...so the next HTTP intent for tenant 7 bounces with 429.
+        with pytest.raises(QueueFullError):
+            client.evict(7)
+        gate.set()
+        background.join(timeout=10.0)
+    finally:
+        gate.set()
+        server.close(timeout=10.0)
+    assert (
+        fabric.metrics_snapshot()["counters"]["frontend.http_backpressure"]
+        == 1
+    )
+
+
+def test_draining_server_returns_503(server, client):
+    server.draining = True
+    server.queue.drain()
+    with pytest.raises(FrontendError, match="-> 503"):
+        client.admit(chain(1))
+    health = client.health()
+    assert health["draining"]
+    server.draining = False  # let the fixture close() run the real path
+    server.queue._accepting = True
+
+
+def test_graceful_close_takes_quiesce_checkpoint(fabric, tmp_path):
+    from repro.durability.checkpoint import FabricDurability
+    from repro.durability.recover import recover_fabric
+
+    FabricDurability(tmp_path, fsync="off").attach(fabric)
+    server = FrontendServer(fabric, port=0).start()
+    client = HttpFrontendClient(server.url, timeout=10.0)
+    for t in range(10):
+        assert client.admit(chain(t))["ok"]
+    server.close(timeout=10.0)
+    server.close(timeout=10.0)  # idempotent
+    recovered, report = recover_fabric(tmp_path, with_dataplane=False)
+    assert report.ok
+    assert recovered.digest() == fabric.digest()
+    assert sorted(recovered.tenants) == sorted(fabric.tenants)
+
+
+def test_context_manager_start_close(fabric):
+    with FrontendServer(fabric, port=0) as server:
+        client = HttpFrontendClient(server.url, timeout=10.0)
+        assert client.health()["ok"]
+    assert not server.pool._running

@@ -271,3 +271,48 @@ def test_fig5_quick(capsys):
     out = capsys.readouterr().out
     assert "fig5" in out
     assert "341" in out
+
+
+def test_serve_demo_mode_drives_the_front_end(capsys):
+    code = main([
+        "serve", "--port", "0", "--switches", "3", "--no-dataplane",
+        "--demo-events", "25", "--seed", "7",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "serving 3 switches (hash) on http://" in out
+    assert "one worker per shard" in out
+    assert "demo: 25/25 intents accepted" in out
+    assert "fabric invariant after drain: OK" in out
+
+
+def test_serve_journals_and_recovers(capsys, tmp_path):
+    wal_dir = tmp_path / "serve-wal"
+    code = main([
+        "serve", "--port", "0", "--switches", "2", "--no-dataplane",
+        "--wal-dir", str(wal_dir), "--demo-events", "20", "--seed", "3",
+        "--partitioner", "modulo",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert f"journaling to {wal_dir} (fsync=batch)" in out
+    assert "(modulo)" in out
+    assert (wal_dir / "fabric.wal.jsonl").exists()
+    # Graceful shutdown took a quiesce checkpoint; recovery lands on it.
+    code = main(["recover", str(wal_dir), "--no-dataplane"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "recovered fabric:" in out
+    assert "replayed 0 ops" in out
+    assert "fabric invariant: OK" in out
+
+
+def test_serve_refuses_journaling_with_impure_partitioner(capsys, tmp_path):
+    code = main([
+        "serve", "--port", "0", "--switches", "2", "--no-dataplane",
+        "--wal-dir", str(tmp_path / "wal"),
+        "--partitioner", "least-backplane", "--demo-events", "5",
+    ])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "pure partitioner" in captured.err
