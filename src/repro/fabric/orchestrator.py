@@ -835,6 +835,19 @@ class FabricOrchestrator:
             return None
         home = record.segments[0].switch
         with self._shard_locks[home]:
+            # Revalidate under the lock: a cross-shard op (drain is keyed
+            # by switch, so the queue does not serialize it against this
+            # tenant's intents) may have re-homed or evicted the tenant
+            # between routing and locking.  Mutating through a stale home
+            # lock would race the real home's worker, so escalate instead.
+            with self._dir_lock:
+                record = self.tenants.get(tenant_id)
+            if (
+                record is None
+                or record.stitched
+                or record.segments[0].switch != home
+            ):
+                return None
             with maybe_span(
                 self.tracer, "fabric.evict", tenant=tenant_id
             ) as span, self.metrics.timer("op_latency_s.evict") as timer:
@@ -879,6 +892,16 @@ class FabricOrchestrator:
             return None
         home = record.segments[0].switch
         with self._shard_locks[home]:
+            # Same revalidation as evict_local: a concurrent drain may
+            # have moved or evicted the tenant while we routed here.
+            with self._dir_lock:
+                record = self.tenants.get(tenant_id)
+            if (
+                record is None
+                or record.stitched
+                or record.segments[0].switch != home
+            ):
+                return None
             with maybe_span(
                 self.tracer, "fabric.modify", tenant=tenant_id
             ) as span, self.metrics.timer("op_latency_s.modify") as timer:

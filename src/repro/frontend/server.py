@@ -102,6 +102,11 @@ class _Handler(BaseHTTPRequestHandler):
         except ReproError as exc:
             self._send(500, {"error": str(exc)})
             return
+        except Exception as exc:  # noqa: BLE001 — a worker bug must still
+            # produce an HTTP response, not a dropped keep-alive connection
+            frontend.fabric.metrics.inc("frontend.http_internal_errors")
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
         self._send(200, result_to_dict(result))
 
     # -- routes --------------------------------------------------------
@@ -122,6 +127,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(400, {"error": str(exc)})
         except ReproError as exc:
             self._send(500, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — see _run_intent
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
 
     def _get(self, parts: list[str]) -> None:
         frontend = self.frontend

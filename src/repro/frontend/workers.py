@@ -170,19 +170,33 @@ class ShardWorkerPool:
         """Graceful shutdown: stop accepting, drain the backlog, join the
         workers, and restore the fabric's serial-mode journaling flags.
         The post-stop fabric is at a quiesce point — safe to digest,
-        checkpoint, and audit."""
+        checkpoint, and audit.
+
+        The serial-mode flags are restored only after a **confirmed**
+        quiesce (queue drained and every worker joined).  On timeout,
+        still-running workers may keep committing backlog intents, and a
+        fabric-wide digest computed under a single shard lock would be
+        torn — so the fabric is left in concurrent mode and a
+        :class:`~repro.errors.FrontendError` is raised; a later
+        :meth:`stop` may retry the drain."""
         if not self._running:
             return
         self.queue.close()
         drained = self.queue.join(timeout)
+        stuck: list[str] = []
         for worker in self.workers:
             worker.join(timeout)
+            if worker.is_alive():
+                stuck.append(worker.switch)
+        if not drained or stuck:
+            detail = f"; workers still running: {stuck}" if stuck else ""
+            raise FrontendError(
+                f"worker pool stop timed out with a backlog{detail}"
+            )
         self._running = False
         self.fabric.journal_digests = self._saved_journal_digests
         if self.fabric.durability is not None:
             self.fabric.durability.auto_checkpoints = self._saved_auto_checkpoints
-        if not drained:
-            raise FrontendError("worker pool stop timed out with a backlog")
 
     def snapshot(self) -> dict:
         """JSON-native pool state (per-worker execution counts)."""
