@@ -15,8 +15,12 @@ from a durability directory (``--wal-dir`` on churn runs) and ``sfp
 checkpoint`` snapshots + compacts one.  ``sfp scenario`` lists, compiles
 or replays the declarative campaign library (diurnal curves, flash
 crowds, correlated failures, rolling upgrades ...) with a fabric
-bit-identity audit at every phase boundary.  ``--quick`` shrinks the
-paper-scale sweeps to seconds.
+bit-identity audit at every phase boundary.  ``sfp ha`` runs the
+high-availability roles: ``demo`` (an in-process kill-primary /
+failover drill), ``primary`` / ``standby`` (a real two-process pair
+shipping WAL frames over TCP), and ``status`` (lease + log state of a
+cluster directory).  ``--quick`` shrinks the paper-scale sweeps to
+seconds.
 """
 
 from __future__ import annotations
@@ -474,6 +478,194 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if not problems else 1
 
 
+def _cmd_ha(args: argparse.Namespace) -> int:
+    import json
+    import time
+    from dataclasses import replace
+    from pathlib import Path
+
+    from repro.controller import ChurnConfig, synthesize_churn
+    from repro.experiments.config import PAPER_SWITCH, PAPER_WORKLOAD
+    from repro.fabric import FabricOrchestrator, FabricTopology, make_partitioner
+
+    root = Path(args.dir)
+    node = args.node or args.action
+
+    def make_fabric():
+        topology = FabricTopology.full_mesh(
+            args.switches, spec=PAPER_SWITCH, link_capacity_gbps=400.0
+        )
+        return FabricOrchestrator(
+            topology,
+            num_types=PAPER_WORKLOAD.num_types,
+            partitioner=make_partitioner("hash"),
+            with_dataplane=False,
+        )
+
+    def churn_events(n: int):
+        config = ChurnConfig(
+            duration_s=max(1.0, n / 8.0),
+            arrival_rate_per_s=8.0,
+            workload=replace(PAPER_WORKLOAD, num_sfcs=0),
+        )
+        return synthesize_churn(config, rng=args.seed)[:n]
+
+    def apply_event(fabric, event):
+        kind = event.kind.value
+        if kind == "arrival":
+            return fabric.admit(event.sfc)
+        if kind == "departure":
+            return fabric.evict(event.tenant_id)
+        return fabric.modify(event.tenant_id, event.sfc)
+
+    if args.action == "status":
+        from repro.durability import CheckpointStore, FabricDurability, scan_wal
+        from repro.ha import LeaseStore
+
+        lease = LeaseStore(root / "lease").read()
+        print(f"lease: holder={lease.holder!r} epoch={lease.epoch} "
+              f"max_epoch={lease.max_epoch} "
+              f"expires_in={lease.deadline - time.time():+.1f}s")
+        for role in ("primary", "standby"):
+            directory = root / role
+            scan = scan_wal(directory / FabricDurability.WAL_NAME)
+            checkpoints = CheckpointStore(directory).lsns()
+            print(f"{role}: wal {len(scan.records)} records past base lsn "
+                  f"{scan.base_lsn} (last lsn {scan.last_lsn}), "
+                  f"checkpoints {checkpoints}")
+        return 0
+
+    if args.action == "demo":
+        from repro.ha import HaCluster
+
+        cluster = HaCluster(
+            root, make_fabric, ttl_s=args.ttl,
+            checkpoint_every=16, verify_every=4,
+        )
+        cluster.start()
+        print(f"primary elected at epoch {cluster.primary_lease.epoch}; "
+              f"shipping to an in-process standby")
+        events = churn_events(args.events)
+        decided = 0
+        acked = 0
+        for event in events:
+            result = apply_event(cluster.fabric, event)
+            decided += bool(result.ok)
+            acked = cluster.durability.wal.last_lsn
+            cluster.pump()
+        print(f"drove {len(events)} churn events ({decided} accepted); "
+              f"acked lsn {acked}, standby applied "
+              f"{cluster.standby.applied_lsn} "
+              f"({cluster.standby.checkpoints_restored} checkpoints shipped)")
+        print(f"killing the primary (disk mode: {args.kill_mode}) ...")
+        cluster.kill_primary(args.kill_mode)
+        report = cluster.failover(max_wait_s=args.ttl * 10 + 5)
+        print(report.describe())
+        preserved = report.applied_lsn >= acked
+        print(f"acknowledged ops preserved: "
+              f"{'YES' if preserved else f'NO (lost {acked - report.applied_lsn})'}")
+        from repro.errors import FencedError
+
+        try:
+            cluster.primary_lease.check_fence()
+            print("FENCE BREACH: the deposed primary still passes its fence")
+            preserved = False
+        except FencedError:
+            print(f"deposed primary fenced (epoch "
+                  f"{report.epoch - 1} < {report.epoch})")
+        cluster.close()
+        return 0 if report.ok and preserved else 1
+
+    if args.action == "primary":
+        from repro.durability import FabricDurability
+        from repro.ha import LeaseCoordinator, LeaseStore, SocketSink, WalShipper
+
+        lease = LeaseCoordinator(node, LeaseStore(root / "lease"), ttl_s=args.ttl)
+        if lease.try_acquire() is None:
+            print("could not acquire the primary lease", file=sys.stderr)
+            return 1
+        fabric = make_fabric()
+        durability = FabricDurability(
+            root / "primary", fsync=args.fsync, checkpoint_every=64
+        ).attach(fabric)
+        durability.set_epoch(lease.epoch)
+        durability.set_fence(lease.check_fence)
+        fabric.epoch = lease.epoch
+        shipper = None
+        if args.peer:
+            host, _, port = args.peer.rpartition(":")
+            shipper = WalShipper(
+                root / "primary",
+                SocketSink(host or "127.0.0.1", int(port)),
+                epoch_fn=lambda: lease.epoch or 0,
+            )
+            print(f"shipping WAL frames to {args.peer}")
+        print(f"primary {node!r} at epoch {lease.epoch}, "
+              f"journaling to {root / 'primary'}")
+        events = churn_events(args.events)
+        decided = 0
+        for event in events:
+            decided += bool(apply_event(fabric, event).ok)
+            lease.renew()
+            if shipper is not None:
+                shipper.pump()
+        if shipper is not None:
+            shipper.pump()
+            shipper.close()
+        print(f"drove {len(events)} churn events ({decided} accepted) to "
+              f"lsn {durability.wal.last_lsn}, digest {fabric.digest()}")
+        durability.close()
+        lease.release()
+        return 0
+
+    if args.action == "standby":
+        from repro.ha import LeaseCoordinator, LeaseStore, ReplicationListener, StandbyReplica
+
+        standby = StandbyReplica()
+        host, _, port = args.listen.rpartition(":")
+        listener = ReplicationListener(
+            standby, host=host or "127.0.0.1", port=int(port)
+        )
+        print(f"standby {node!r} accepting replication on "
+              f"{listener.host}:{listener.port} for {args.duration:.0f}s")
+        deadline = time.time() + args.duration
+        while time.time() < deadline:
+            time.sleep(0.2)
+        listener.close()
+        print(json.dumps(standby.status(), indent=2, sort_keys=True))
+        if not args.promote:
+            return 0
+        lease = LeaseCoordinator(node, LeaseStore(root / "lease"), ttl_s=args.ttl)
+        print("waiting out the primary lease ...")
+        wait_deadline = time.time() + args.ttl * 10 + 5
+        epoch = lease.try_acquire()
+        while epoch is None and time.time() < wait_deadline:
+            time.sleep(0.1)
+            epoch = lease.try_acquire()
+        if epoch is None:
+            print("could not win the lease (primary still alive?)",
+                  file=sys.stderr)
+            return 1
+        from repro.durability import FabricDurability
+
+        caught_up = standby.catch_up_from(root / "primary", epoch=epoch)
+        durability = FabricDurability(
+            root / "standby", fsync=args.fsync,
+            start_lsn=standby.applied_lsn,
+        )
+        problems = standby.promote(epoch, durability=durability)
+        durability.set_fence(lease.check_fence)
+        print(f"promoted at epoch {epoch}: caught up {caught_up} records "
+              f"to lsn {standby.applied_lsn}, digest "
+              f"{standby.fabric.digest()}")
+        for problem in problems:
+            print(f"  problem: {problem}")
+        durability.close()
+        return 0 if not problems else 1
+
+    raise SystemExit(f"unknown ha action {args.action}")  # pragma: no cover
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.experiments.fig4_throughput import build_demo_pipeline
     from repro.traffic.flows import FlowGenerator
@@ -813,6 +1005,62 @@ def main(argv: list[str] | None = None) -> int:
              "the in-process client, then drain and exit (CI/tests)",
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "ha",
+        help="high availability: lease-elected primary, WAL-shipping "
+             "standby, fenced failover (demo / primary / standby / status)",
+    )
+    p.add_argument(
+        "action", choices=("demo", "primary", "standby", "status"),
+        help="demo = in-process kill-primary drill; primary/standby = a "
+             "real two-process pair over TCP; status = lease + log state",
+    )
+    p.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="cluster root directory (holds lease/, primary/, standby/)",
+    )
+    p.add_argument("--seed", type=int, default=None, help="RNG seed")
+    p.add_argument(
+        "--switches", type=int, default=3, help="fabric switches"
+    )
+    p.add_argument(
+        "--events", type=int, default=40,
+        help="churn events the primary drives",
+    )
+    p.add_argument(
+        "--ttl", type=float, default=1.0, help="lease TTL (seconds)"
+    )
+    p.add_argument(
+        "--kill-mode",
+        choices=("keep", "lose-unsynced", "tear", "corrupt"), default="tear",
+        help="demo: how the dead primary's WAL tail is mutilated",
+    )
+    p.add_argument(
+        "--node", default=None,
+        help="this node's lease name (default: the action name)",
+    )
+    p.add_argument(
+        "--fsync", choices=("always", "batch", "off"), default="always",
+        help="WAL fsync policy (always = zero lost acknowledged ops)",
+    )
+    p.add_argument(
+        "--peer", default=None, metavar="HOST:PORT",
+        help="primary: ship WAL frames to this standby listener",
+    )
+    p.add_argument(
+        "--listen", default="127.0.0.1:7070", metavar="HOST:PORT",
+        help="standby: replication listen address",
+    )
+    p.add_argument(
+        "--duration", type=float, default=10.0,
+        help="standby: seconds to serve replication before exiting",
+    )
+    p.add_argument(
+        "--promote", action="store_true",
+        help="standby: after serving, wait out the lease and take over",
+    )
+    p.set_defaults(func=_cmd_ha)
 
     p = sub.add_parser("demo", help="trace a packet through a virtualized chain")
     _add_common(p)

@@ -24,7 +24,9 @@ from repro.durability.checkpoint import (
     restore_fabric,
 )
 from repro.durability.faults import (
+    CHECKPOINT_SITES,
     DISK_MODES,
+    DURABILITY_SITES,
     WAL_SITES,
     CountdownCrash,
     CrashError,
@@ -41,6 +43,7 @@ from repro.durability.recover import (
     RecoveryReport,
     apply_controller_record,
     apply_fabric_record,
+    fabric_from_manifest,
     recover_controller,
     recover_fabric,
 )
@@ -48,6 +51,7 @@ from repro.durability.wal import (
     FSYNC_POLICIES,
     WalRecord,
     WalScan,
+    WalTailer,
     WriteAheadLog,
     replay_iter,
     scan_wal,
@@ -63,7 +67,9 @@ __all__ = [
     "read_manifest",
     "restore_controller",
     "restore_fabric",
+    "CHECKPOINT_SITES",
     "DISK_MODES",
+    "DURABILITY_SITES",
     "WAL_SITES",
     "CountdownCrash",
     "CrashError",
@@ -78,11 +84,13 @@ __all__ = [
     "RecoveryReport",
     "apply_controller_record",
     "apply_fabric_record",
+    "fabric_from_manifest",
     "recover_controller",
     "recover_fabric",
     "FSYNC_POLICIES",
     "WalRecord",
     "WalScan",
+    "WalTailer",
     "WriteAheadLog",
     "replay_iter",
     "scan_wal",

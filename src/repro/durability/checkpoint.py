@@ -206,12 +206,23 @@ class CheckpointStore:
     before it instead of failing recovery outright.
     """
 
-    def __init__(self, directory: str | Path, keep: int = 3) -> None:
+    def __init__(
+        self, directory: str | Path, keep: int = 3, fault_hook=None
+    ) -> None:
+        """``fault_hook`` (same seam as the WAL's) is called at
+        ``"checkpoint.before-rename"`` / ``"checkpoint.after-rename"`` —
+        the window between the atomic rename and the directory fsync that
+        makes it durable — and may raise to simulate a crash there."""
         if keep < 1:
             raise DurabilityError("keep must be >= 1")
         self.directory = Path(directory)
         self.keep = keep
+        self.fault_hook = fault_hook
         self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _hook(self, site: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(site)
 
     def path_for(self, lsn: int) -> Path:
         """The on-disk file a checkpoint at ``lsn`` lives in."""
@@ -239,7 +250,12 @@ class CheckpointStore:
             fh.write("\n")
             fh.flush()
             os.fsync(fh.fileno())
+        self._hook("checkpoint.before-rename")
         os.replace(tmp, path)
+        # Crash window: the rename exists only in the directory's page
+        # cache until the dir fsync below — an acknowledged checkpoint
+        # must not be able to vanish on power loss.
+        self._hook("checkpoint.after-rename")
         _fsync_dir(self.directory)
         for old in self.lsns()[: -self.keep]:
             self.path_for(old).unlink(missing_ok=True)
@@ -414,7 +430,9 @@ class ControllerDurability:
             batch_every=batch_every,
             fault_hook=fault_hook,
         )
-        self.store = CheckpointStore(self.directory, keep=keep_checkpoints)
+        self.store = CheckpointStore(
+            self.directory, keep=keep_checkpoints, fault_hook=fault_hook
+        )
         self.checkpoint_every = checkpoint_every
         self.checkpoints_taken = 0
         self._ops_since_checkpoint = 0
@@ -425,6 +443,15 @@ class ControllerDurability:
         _write_manifest(self.directory, controller_manifest(controller))
         controller.durability = self
         return self
+
+    def set_epoch(self, epoch: int) -> None:
+        """Stamp subsequent journaled records with fencing token ``epoch``."""
+        self.wal.epoch = int(epoch)
+
+    def set_fence(self, fence) -> None:
+        """Install ``fence`` (raises :class:`~repro.errors.FencedError`)
+        on the journal — a deposed primary's appends then fail fast."""
+        self.wal.fence = fence
 
     def commit_op(self, controller: "SfcController", op: str, data: dict):
         """Journal one committed op; auto-checkpoint on the policy cadence."""
@@ -470,7 +497,11 @@ class FabricDurability:
         checkpoint_every: int = 256,
         keep_checkpoints: int = 3,
         fault_hook=None,
+        start_lsn: int | None = None,
     ) -> None:
+        """``start_lsn`` seeds a fresh fabric WAL's base LSN — a promoted
+        standby continues the failed primary's LSN sequence with it, so
+        the per-LSN digest oracle stays contiguous across a failover."""
         if checkpoint_every < 0:
             raise DurabilityError("checkpoint_every must be >= 0")
         self.directory = Path(directory)
@@ -483,8 +514,11 @@ class FabricDurability:
             fsync=fsync,
             batch_every=batch_every,
             fault_hook=fault_hook,
+            start_lsn=start_lsn,
         )
-        self.store = CheckpointStore(self.directory, keep=keep_checkpoints)
+        self.store = CheckpointStore(
+            self.directory, keep=keep_checkpoints, fault_hook=fault_hook
+        )
         self.checkpoint_every = checkpoint_every
         self.checkpoints_taken = 0
         self._ops_since_checkpoint = 0
@@ -494,6 +528,8 @@ class FabricDurability:
         #: restores it (and checkpoints) on graceful shutdown.
         self.auto_checkpoints = True
         self.shard_wals: dict[str, WriteAheadLog] = {}
+        self._epoch = 0
+        self._fence = None
 
     def shard_wal_path(self, switch: str) -> Path:
         """The per-switch audit WAL file for ``switch``."""
@@ -514,10 +550,29 @@ class FabricDurability:
                     fsync=self.fsync,
                     batch_every=self.batch_every,
                     fault_hook=self.fault_hook,
+                    epoch=self._epoch,
+                    fence=self._fence,
                 )
             shard.durability = ShardWalLogger(wal)
         fabric.durability = self
         return self
+
+    def set_epoch(self, epoch: int) -> None:
+        """Stamp subsequent records — fabric log and every shard WAL —
+        with fencing token ``epoch``."""
+        self._epoch = int(epoch)
+        self.wal.epoch = self._epoch
+        for wal in self.shard_wals.values():
+            wal.epoch = self._epoch
+
+    def set_fence(self, fence) -> None:
+        """Install ``fence`` (raises :class:`~repro.errors.FencedError`)
+        on the fabric log and every shard WAL — once this node loses the
+        primary lease, no journal on it can commit another record."""
+        self._fence = fence
+        self.wal.fence = fence
+        for wal in self.shard_wals.values():
+            wal.fence = fence
 
     def commit_op(self, fabric: "FabricOrchestrator", op: str, data: dict):
         """Journal one committed fabric op; auto-checkpoint on cadence

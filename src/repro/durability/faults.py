@@ -38,6 +38,20 @@ WAL_SITES = (
     "wal.after-fsync",
 )
 
+#: The atomic-rename windows: between ``os.replace`` and the directory
+#: fsync that makes it durable, for checkpoint writes and WAL compaction.
+CHECKPOINT_SITES = (
+    "checkpoint.before-rename",
+    "checkpoint.after-rename",
+    "wal.compact.before-rename",
+    "wal.compact.after-rename",
+)
+
+#: Every durability crash site — the HA kill-primary sweep arms all of
+#: these on the primary and asserts the promoted standby lands
+#: digest-identical at the committed LSN regardless of where death struck.
+DURABILITY_SITES = WAL_SITES + CHECKPOINT_SITES
+
 #: How the disk may look after the process dies (applied post-abort).
 DISK_MODES = ("keep", "lose-unsynced", "tear", "corrupt")
 

@@ -235,6 +235,59 @@ def apply_fabric_record(
 # ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
+def fabric_from_manifest(
+    manifest: dict,
+    with_dataplane: bool | None = None,
+    recorder: FlightRecorder | None = None,
+) -> FabricOrchestrator:
+    """An equivalent *empty* fabric rebuilt from a recovery manifest — the
+    starting point for both crash recovery and a hot standby's replay."""
+    if manifest.get("kind") != "fabric":
+        raise DurabilityError(
+            f"expected a fabric manifest, got kind={manifest.get('kind')!r}"
+        )
+    topology = FabricTopology(
+        nodes=[
+            SwitchNode(
+                name=node["name"],
+                spec=SwitchSpec(**node["spec"]),
+                max_recirculations=node["max_recirculations"],
+            )
+            for node in manifest["nodes"]
+        ],
+        links=[
+            FabricLink(a=link["a"], b=link["b"], capacity_gbps=link["capacity_gbps"])
+            for link in manifest["links"]
+        ],
+    )
+    return FabricOrchestrator(
+        topology,
+        num_types=manifest["num_types"],
+        partitioner=make_partitioner(manifest["partitioner"]),
+        with_dataplane=(
+            manifest["with_dataplane"] if with_dataplane is None else with_dataplane
+        ),
+        policy=AdmissionPolicy(**manifest["policy"]),
+        consolidate=manifest["consolidate"],
+        reserve_physical_block=manifest["reserve_physical_block"],
+        recorder=recorder,
+    )
+
+
+def _checkpoint_fallback_note(store: CheckpointStore, base_lsn: int) -> str | None:
+    """The recovery note when checkpoints exist on disk but none loads:
+    recovery silently falling back to a full replay would hide real damage.
+    """
+    retained = store.lsns()
+    if not retained:
+        return None
+    return (
+        f"all {len(retained)} retained checkpoints corrupt "
+        f"(lsns {retained}); falling back to empty state + full WAL "
+        f"replay from lsn {base_lsn}"
+    )
+
+
 def recover_controller(
     directory: str | Path,
     with_dataplane: bool | None = None,
@@ -278,8 +331,10 @@ def recover_controller(
     )
 
     problems: list[str] = []
+    notes: list[str] = []
     scan = scan_wal(directory / ControllerDurability.WAL_NAME)
-    checkpoint = CheckpointStore(directory).load_latest()
+    store = CheckpointStore(directory)
+    checkpoint = store.load_latest()
     checkpoint_lsn = 0
     if checkpoint is not None:
         try:
@@ -287,6 +342,16 @@ def recover_controller(
             checkpoint_lsn = int(checkpoint["lsn"])
         except DurabilityError as exc:
             problems.append(f"checkpoint restore failed: {exc}")
+    else:
+        note = _checkpoint_fallback_note(store, scan.base_lsn)
+        if note is not None:
+            notes.append(note)
+            if scan.base_lsn > 0:
+                problems.append(
+                    f"no loadable checkpoint but the WAL was compacted to "
+                    f"base lsn {scan.base_lsn}: records 1..{scan.base_lsn} "
+                    f"are unrecoverable"
+                )
     engine = RecoveryEngine(
         lambda record: apply_controller_record(controller, record),
         applied_lsn=checkpoint_lsn,
@@ -311,6 +376,7 @@ def recover_controller(
         truncated_bytes=durability.wal.truncated_bytes,
         digest=controller.state.digest(),
         problems=tuple(problems),
+        notes=tuple(notes),
         wall_s=time.perf_counter() - t0,
     )
     assert controller.recorder is not None
@@ -351,31 +417,8 @@ def recover_fabric(
             f"{directory} holds a {manifest.get('kind')!r} manifest, "
             f"not a fabric"
         )
-    topology = FabricTopology(
-        nodes=[
-            SwitchNode(
-                name=node["name"],
-                spec=SwitchSpec(**node["spec"]),
-                max_recirculations=node["max_recirculations"],
-            )
-            for node in manifest["nodes"]
-        ],
-        links=[
-            FabricLink(a=link["a"], b=link["b"], capacity_gbps=link["capacity_gbps"])
-            for link in manifest["links"]
-        ],
-    )
-    fabric = FabricOrchestrator(
-        topology,
-        num_types=manifest["num_types"],
-        partitioner=make_partitioner(manifest["partitioner"]),
-        with_dataplane=(
-            manifest["with_dataplane"] if with_dataplane is None else with_dataplane
-        ),
-        policy=AdmissionPolicy(**manifest["policy"]),
-        consolidate=manifest["consolidate"],
-        reserve_physical_block=manifest["reserve_physical_block"],
-    )
+    fabric = fabric_from_manifest(manifest, with_dataplane=with_dataplane)
+    topology = fabric.topology
     genesis_digests = {
         name: fabric.shards[name].state.digest()
         for name in topology.switch_names
@@ -384,7 +427,8 @@ def recover_fabric(
     problems: list[str] = []
     notes: list[str] = []
     scan = scan_wal(directory / FabricDurability.WAL_NAME)
-    checkpoint = CheckpointStore(directory).load_latest()
+    store = CheckpointStore(directory)
+    checkpoint = store.load_latest()
     checkpoint_lsn = 0
     if checkpoint is not None:
         try:
@@ -392,6 +436,16 @@ def recover_fabric(
             checkpoint_lsn = int(checkpoint["lsn"])
         except DurabilityError as exc:
             problems.append(f"checkpoint restore failed: {exc}")
+    else:
+        note = _checkpoint_fallback_note(store, scan.base_lsn)
+        if note is not None:
+            notes.append(note)
+            if scan.base_lsn > 0:
+                problems.append(
+                    f"no loadable checkpoint but the WAL was compacted to "
+                    f"base lsn {scan.base_lsn}: records 1..{scan.base_lsn} "
+                    f"are unrecoverable"
+                )
     engine = RecoveryEngine(
         lambda record: apply_fabric_record(fabric, record),
         applied_lsn=checkpoint_lsn,

@@ -38,6 +38,18 @@ appending meanwhile), and wakes everyone whose offset the sync covered.
 ``N`` — the amortization the concurrent control-plane front end
 (:mod:`repro.frontend`) is built on, with unchanged
 durability-before-acknowledgment semantics.
+
+For high availability (:mod:`repro.ha`) every record is additionally
+stamped with the writer's **epoch** — the monotonic fencing token of the
+lease reign that committed it (0 when HA is not in play; old logs without
+the field parse as epoch 0).  A ``fence`` guard installed on the log is
+checked at the top of every :meth:`append`, so a deposed primary's
+appends raise :class:`~repro.errors.FencedError` *before* allocating an
+LSN — a fenced node cannot journal, therefore cannot acknowledge.
+:class:`WalTailer` is the shipping side's incremental reader: it follows
+the log file across appends and compactions and reports a *gap* when
+records it never saw were compacted away (the signal to resync from a
+checkpoint).
 """
 
 from __future__ import annotations
@@ -50,7 +62,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable
 
-from repro.errors import DurabilityError
+from repro.errors import DurabilityError, FencedError
 
 #: fsync policies accepted by :class:`WriteAheadLog`.
 FSYNC_POLICIES = ("always", "batch", "off")
@@ -64,15 +76,24 @@ WAL_VERSION = 1
 
 @dataclass(frozen=True)
 class WalRecord:
-    """One committed log record: LSN, op name, and the op's JSON payload."""
+    """One committed log record: LSN, op name, the op's JSON payload, and
+    the fencing epoch of the lease reign that wrote it (0 = no HA)."""
 
     lsn: int
     op: str
     data: dict
+    epoch: int = 0
 
     def to_line(self) -> bytes:
         """The record's on-disk line (CRC envelope + trailing newline)."""
-        body = _canonical({"lsn": self.lsn, "op": self.op, "data": self.data})
+        body = _canonical(
+            {
+                "lsn": self.lsn,
+                "op": self.op,
+                "data": self.data,
+                "epoch": self.epoch,
+            }
+        )
         crc = zlib.crc32(body.encode("utf-8"))
         return f'{{"crc":{crc},"rec":{body}}}\n'.encode("utf-8")
 
@@ -165,7 +186,12 @@ def _parse_line(line: bytes) -> WalRecord | None:
         body = _canonical(rec)
         if zlib.crc32(body.encode("utf-8")) != crc:
             return None
-        return WalRecord(lsn=int(rec["lsn"]), op=str(rec["op"]), data=rec["data"])
+        return WalRecord(
+            lsn=int(rec["lsn"]),
+            op=str(rec["op"]),
+            data=rec["data"],
+            epoch=int(rec.get("epoch", 0)),
+        )
     except (ValueError, KeyError, TypeError):
         return None
 
@@ -179,14 +205,26 @@ class WriteAheadLog:
         fsync: str = "always",
         batch_every: int = 64,
         fault_hook: Callable[[str], None] | None = None,
+        epoch: int = 0,
+        fence: Callable[[], None] | None = None,
+        start_lsn: int | None = None,
     ) -> None:
         """Open (or create) the log at ``path``.  Opening an existing file
         truncates any torn/corrupt tail back to the longest valid prefix.
 
         ``fault_hook`` is the fault-injection seam: when set, it is called
         with a site name (``"wal.before-append"``, ``"wal.after-append"``,
-        ``"wal.before-fsync"``, ``"wal.after-fsync"``) at each durability
-        boundary and may raise to simulate a crash exactly there.
+        ``"wal.before-fsync"``, ``"wal.after-fsync"``, and the compaction
+        rename window ``"wal.compact.before-rename"`` /
+        ``"wal.compact.after-rename"``) at each durability boundary and may
+        raise to simulate a crash exactly there.
+
+        ``epoch`` stamps every appended record with the writer's fencing
+        token; ``fence`` (a callable raising
+        :class:`~repro.errors.FencedError`) is checked at the top of every
+        append.  ``start_lsn`` seeds a **fresh** file's base LSN — a
+        promoted standby continues the primary's LSN sequence this way
+        (ignored when the file already holds records).
         """
         if fsync not in FSYNC_POLICIES:
             raise DurabilityError(
@@ -198,6 +236,11 @@ class WriteAheadLog:
         self.fsync_policy = fsync
         self.batch_every = batch_every
         self.fault_hook = fault_hook
+        #: Fencing token stamped into every appended record (mutable: a
+        #: promotion re-arms the log at the new lease epoch).
+        self.epoch = int(epoch)
+        #: Optional fence guard, checked before every append.
+        self.fence = fence
         # One mutex guards file writes, offsets, and LSN allocation; the
         # condition on top of it coordinates the group-commit sync leader.
         self._cv = threading.Condition()
@@ -224,7 +267,16 @@ class WriteAheadLog:
         self._since_sync = 0
         self.appended = 0
         if fresh:
+            if start_lsn is not None:
+                self.last_lsn = max(self.last_lsn, int(start_lsn))
             self._write_header(base_lsn=self.last_lsn)
+            if self.fsync_policy != "off":
+                # A brand-new log file must itself survive power loss:
+                # fsync the header bytes *and* the parent directory entry,
+                # else a crash could make an acknowledged-empty log vanish.
+                os.fsync(self._fh.fileno())
+                _fsync_dir(self.path.parent)
+                self._durable_offset = self._offset
 
     # ------------------------------------------------------------------
     @property
@@ -259,13 +311,22 @@ class WriteAheadLog:
         Safe to call from concurrent committers: LSN allocation and the
         file write happen under the log mutex, and ``fsync="always"``
         callers return only once their bytes are durable — via the
-        group-commit protocol, so concurrent callers share syncs."""
+        group-commit protocol, so concurrent callers share syncs.
+
+        When a ``fence`` guard is installed (HA), it runs first: a deposed
+        primary raises :class:`~repro.errors.FencedError` here, before any
+        LSN is allocated or byte written — the op is never journaled, so
+        it can never be acknowledged."""
         if op == HEADER_OP:
             raise DurabilityError(f"op name {HEADER_OP!r} is reserved")
+        if self.fence is not None:
+            self.fence()
         self._hook("wal.before-append")
         batch_due = False
         with self._cv:
-            record = WalRecord(lsn=self.last_lsn + 1, op=op, data=data)
+            record = WalRecord(
+                lsn=self.last_lsn + 1, op=op, data=data, epoch=self.epoch
+            )
             line = record.to_line()
             # No flush here: the buffer drains on sync/close/abort/records(),
             # so a hot loop pays one write syscall per batch, not per record.
@@ -375,7 +436,12 @@ class WriteAheadLog:
                 fh.flush()
                 os.fsync(fh.fileno())
             self._fh.close()
+            self._hook("wal.compact.before-rename")
             os.replace(tmp, self.path)
+            # Crash window: the rename is in the directory's page cache but
+            # not yet durable — the dir fsync below closes it.  The hook
+            # lets the fault sweep kill the process exactly in between.
+            self._hook("wal.compact.after-rename")
             _fsync_dir(self.path.parent)
             self._fh = self.path.open("ab")
             self._offset = self.path.stat().st_size
@@ -410,3 +476,82 @@ def replay_iter(records: Iterable[WalRecord], after_lsn: int) -> Iterable[WalRec
     """The records with ``lsn > after_lsn`` — the replay window a recovery
     starting from a checkpoint at ``after_lsn`` must apply."""
     return (r for r in records if r.lsn > after_lsn)
+
+
+class WalTailer:
+    """Incremental follower of a live (or dead) log file.
+
+    :meth:`poll` returns the records appended since the last poll, reading
+    only the new bytes on the happy path.  The tailer survives everything
+    the file can do while it watches:
+
+    * an in-flight append (a trailing partial line) is left unread and
+      retried on the next poll;
+    * a compaction (the file shrank, or a header record appears mid-read)
+      triggers a full :func:`scan_wal` resync;
+    * records the tailer never saw being compacted away is reported as a
+      **gap** — the caller must restore a checkpoint at or past the new
+      base LSN before applying the returned records (the replica's LSN
+      gate then skips the overlap).
+
+    A mutilated tail (torn or corrupt bytes after a crash) simply ends the
+    readable prefix — exactly the records a recovery would see.
+    """
+
+    def __init__(self, path: str | Path, after_lsn: int = 0) -> None:
+        self.path = Path(path)
+        #: LSN of the last record delivered (start: the caller's resume point).
+        self.last_lsn = int(after_lsn)
+        self._offset = 0
+        self._synced = False  # offset is valid for the current file layout
+
+    def poll(self) -> tuple[list[WalRecord], bool]:
+        """``(new_records, gap)`` — records with ``lsn > last_lsn`` in
+        order, and whether a compaction dropped records this tailer never
+        delivered (resync from a checkpoint required)."""
+        if not self.path.exists():
+            return [], False
+        size = self.path.stat().st_size
+        if not self._synced or size < self._offset:
+            return self._rescan()
+        if size == self._offset:
+            return [], False
+        with self.path.open("rb") as fh:
+            fh.seek(self._offset)
+            raw = fh.read(size - self._offset)
+        out: list[WalRecord] = []
+        rel = 0
+        while True:
+            newline = raw.find(b"\n", rel)
+            if newline < 0:
+                break  # partial line: an append in flight, retry next poll
+            record = _parse_line(raw[rel : newline + 1])
+            if record is None:
+                # A *complete* but invalid line mid-file: either the file
+                # was rewritten under us or the tail is corrupt — a full
+                # rescan settles which (and where the valid prefix ends).
+                return self._rescan()
+            if record.op == HEADER_OP:
+                return self._rescan()  # file rewritten and regrown
+            if record.lsn > self.last_lsn + 1:
+                return self._rescan()  # discontinuity: resync
+            if record.lsn == self.last_lsn + 1:
+                out.append(record)
+                self.last_lsn = record.lsn
+            rel = newline + 1
+        self._offset += rel
+        return out, False
+
+    def _rescan(self) -> tuple[list[WalRecord], bool]:
+        scan = scan_wal(self.path)
+        gap = scan.base_lsn > self.last_lsn
+        out = [r for r in scan.records if r.lsn > self.last_lsn]
+        if out:
+            self.last_lsn = out[-1].lsn
+        elif gap:
+            # Everything below the new base is gone; future polls resume
+            # from the base (the checkpoint the caller restores covers it).
+            self.last_lsn = scan.base_lsn
+        self._offset = scan.good_offset
+        self._synced = True
+        return out, gap

@@ -55,6 +55,15 @@ class DurabilityError(ReproError):
     manifests, incompatible checkpoints, unrecoverable log state)."""
 
 
+class FencedError(DurabilityError):
+    """Raised when a deposed primary — one whose lease epoch is no longer
+    current — attempts a fenced operation: a WAL append or a frontend
+    write.  The operation was **not** committed; the caller must redirect
+    to the current primary.  This is what makes split-brain unable to
+    commit: losing the lease turns every durability path into a fast
+    failure instead of a silent divergent write."""
+
+
 class ScenarioError(ReproError):
     """Raised on invalid scenario/campaign specs (malformed load curves,
     fault schedules referencing unknown switches, unparseable spec files)."""

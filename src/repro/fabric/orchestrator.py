@@ -225,6 +225,13 @@ class FabricOrchestrator:
         #: the authoritative redo log recovery replays — while each shard
         #: additionally journals its own ops to a per-switch WAL shard.
         self.durability = None
+        #: HA role: ``"primary"`` serves writes; a ``"standby"`` fabric is
+        #: driven only by WAL replay and the frontend refuses writes on it
+        #: (role-aware 503 + redirect to the primary).
+        self.role = "primary"
+        #: Fencing token of the lease reign this fabric serves under
+        #: (0 = HA not in play; see :mod:`repro.ha.lease`).
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     # Views
@@ -370,6 +377,38 @@ class FabricOrchestrator:
                 self.metrics.gauge(f"link_load_gbps.{a}-{b}").set(
                     link.load_gbps
                 )
+
+    def promote(self, epoch: int, durability=None) -> list[str]:
+        """Promote-from-replica entry point: flip a standby-replayed fabric
+        into the serving primary at lease ``epoch``.
+
+        Validates the fabric invariant, adopts the new fencing token, and —
+        when a fresh :class:`~repro.durability.checkpoint.FabricDurability`
+        is supplied (built with ``start_lsn`` = the replica's applied LSN,
+        so the journal continues the failed primary's LSN sequence) —
+        attaches it, stamps it with the new epoch, and takes an immediate
+        checkpoint so the promoted state is durable before the first write
+        is served.  Returns the invariant problems (empty = clean
+        takeover); on problems the durability attach still happens but the
+        checkpoint is skipped, mirroring recovery's behaviour."""
+        with self._fabric_locked():
+            problems = self.check_invariant()
+            self.role = "primary"
+            self.epoch = int(epoch)
+            if durability is not None:
+                durability.attach(self)
+                durability.set_epoch(self.epoch)
+                if not problems:
+                    durability.checkpoint(self)
+            self._refresh_gauges()
+            self.metrics.inc("ha.promotions")
+            self.recorder.snap(
+                "ha-promote",
+                epoch=self.epoch,
+                digest=self.digest(),
+                ok=not problems,
+            )
+        return problems
 
     def _renormalize_links(self) -> None:
         """Recompute every link's load in sorted-tenant order — the exact

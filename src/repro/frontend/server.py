@@ -13,8 +13,8 @@ DELETE ``/v1/tenants/<id>``             evict
 PUT    ``/v1/tenants/<id>``             modify (body: ``{"sfc": {...}}``)
 POST   ``/v1/switches/<name>/drain``    drain a switch
 POST   ``/v1/switches/<name>/undrain``  return a switch to routing
-GET    ``/healthz``                     liveness + queue depth
-GET    ``/v1/summary``                  fabric occupancy summary
+GET    ``/healthz``                     liveness + HA role/epoch + queue depth
+GET    ``/v1/summary``                  fabric occupancy summary (+ HA block)
 GET    ``/v1/queue``                    queue + worker-pool snapshot
 GET    ``/v1/metrics``                  fabric metrics snapshot
 ====== ================================ =====================================
@@ -24,7 +24,10 @@ fabric op (including rejections — the body's ``ok``/``reason`` tell the
 tenant why), **429** with a ``Retry-After`` header when the intent queue
 refuses the submission (per-tenant FIFO or global bound full), **503**
 once the server is draining for shutdown, **400** for malformed JSON and
-**404** for unknown routes.
+**404** for unknown routes.  Under HA, writes on a standby — or on a
+primary whose lease fence tripped — return **503** with the primary's URL
+in both the ``Location`` header and the body, so clients redirect instead
+of retrying a node that can never acknowledge.
 
 Shutdown is graceful: :meth:`FrontendServer.close` stops accepting new
 connections, drains the intent queue through the pool, and (when the
@@ -40,7 +43,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.core.spec import SFC
-from repro.errors import FrontendError, QueueFullError, ReproError
+from repro.errors import FencedError, FrontendError, QueueFullError, ReproError
 from repro.fabric.orchestrator import FabricOrchestrator
 from repro.frontend.client import result_to_dict
 from repro.frontend.queue import Intent, IntentQueue
@@ -85,11 +88,34 @@ class _Handler(BaseHTTPRequestHandler):
             raise FrontendError("JSON body must be an object")
         return body
 
+    def _send_not_primary(self, error: str) -> None:
+        """503 with the primary's location (HA): the client must redirect
+        its writes — this node either is a standby or just lost the lease."""
+        frontend = self.frontend
+        frontend.fabric.metrics.inc("frontend.http_not_primary")
+        body = {
+            "error": error,
+            "role": getattr(frontend.fabric, "role", "primary"),
+        }
+        headers: dict[str, str] = {}
+        if frontend.primary_url:
+            body["primary"] = frontend.primary_url
+            headers["Location"] = frontend.primary_url
+        self._send(503, body, headers)
+
     def _run_intent(self, intent: Intent) -> None:
         """Submit one intent and reply with its executed result."""
         frontend = self.frontend
+        if getattr(frontend.fabric, "role", "primary") != "primary":
+            self._send_not_primary(
+                "this node is a standby; writes go to the primary"
+            )
+            return
         try:
             ticket = frontend.pool.submit(intent)
+        except FencedError as exc:
+            self._send_not_primary(str(exc))
+            return
         except QueueFullError as exc:
             frontend.fabric.metrics.inc("frontend.http_backpressure")
             self._send(429, {"error": str(exc)}, {"Retry-After": "1"})
@@ -99,6 +125,11 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             result = ticket.result(frontend.request_timeout)
+        except FencedError as exc:
+            # The lease was lost between submit and commit: the WAL fence
+            # killed the append, so the op was never journaled.
+            self._send_not_primary(str(exc))
+            return
         except ReproError as exc:
             self._send(500, {"error": str(exc)})
             return
@@ -133,16 +164,17 @@ class _Handler(BaseHTTPRequestHandler):
     def _get(self, parts: list[str]) -> None:
         frontend = self.frontend
         if parts == ["healthz"]:
-            self._send(
-                200,
-                {
-                    "ok": True,
-                    "draining": frontend.draining,
-                    "queued": len(frontend.queue),
-                },
-            )
+            body = {
+                "ok": True,
+                "draining": frontend.draining,
+                "queued": len(frontend.queue),
+            }
+            body.update(frontend.ha_status())
+            self._send(200, body)
         elif parts == ["v1", "summary"]:
-            self._send(200, frontend.fabric.summary())
+            body = dict(frontend.fabric.summary())
+            body["ha"] = frontend.ha_status()
+            self._send(200, body)
         elif parts == ["v1", "queue"]:
             self._send(200, frontend.pool.snapshot())
         elif parts == ["v1", "metrics"]:
@@ -238,11 +270,18 @@ class FrontendServer:
         port: int = 8080,
         queue: IntentQueue | None = None,
         request_timeout: float = 30.0,
+        primary_url: str | None = None,
+        fence=None,
     ) -> None:
+        """HA deployments pass ``fence`` (the lease coordinator's
+        ``check_fence``, installed on the worker pool so a deposed
+        primary's writes 503 at the door) and — on standbys — the
+        ``primary_url`` clients are redirected to."""
         self.fabric = fabric
         self.queue = queue if queue is not None else IntentQueue()
-        self.pool = ShardWorkerPool(fabric, queue=self.queue)
+        self.pool = ShardWorkerPool(fabric, queue=self.queue, fence=fence)
         self.request_timeout = request_timeout
+        self.primary_url = primary_url
         self._httpd = _Server((host, port), self)
         self._serve_thread: threading.Thread | None = None
         self.draining = False
@@ -251,6 +290,22 @@ class FrontendServer:
     def address(self) -> str:
         host, port = self._httpd.server_address[:2]
         return f"{host}:{port}"
+
+    def ha_status(self) -> dict:
+        """Role, fencing epoch, and committed LSN — merged into
+        ``/healthz`` and ``/v1/summary`` so operators (and failover
+        tooling) can read a node's HA position off either endpoint."""
+        durability = self.fabric.durability
+        status = {
+            "role": getattr(self.fabric, "role", "primary"),
+            "epoch": getattr(self.fabric, "epoch", 0),
+            "committed_lsn": (
+                durability.wal.last_lsn if durability is not None else 0
+            ),
+        }
+        if self.primary_url:
+            status["primary"] = self.primary_url
+        return status
 
     @property
     def url(self) -> str:

@@ -130,10 +130,17 @@ class ShardWorkerPool:
         fabric: FabricOrchestrator,
         queue: IntentQueue | None = None,
         take_timeout: float = 0.05,
+        fence=None,
     ) -> None:
+        """``fence`` (HA): a callable raising
+        :class:`~repro.errors.FencedError` when this node no longer holds
+        the primary lease — checked on every :meth:`submit`, so a deposed
+        primary refuses intents at the door instead of failing them one
+        WAL append later."""
         self.fabric = fabric
         self.queue = queue if queue is not None else IntentQueue()
         self.take_timeout = take_timeout
+        self.fence = fence
         self.workers: list[ShardWorker] = []
         self._running = False
         self._saved_journal_digests = True
@@ -163,7 +170,12 @@ class ShardWorkerPool:
         return self
 
     def submit(self, intent: Intent) -> IntentTicket:
-        """Enqueue one intent (the in-process client calls this)."""
+        """Enqueue one intent (the in-process client calls this).  With a
+        fence installed, a deposed primary raises
+        :class:`~repro.errors.FencedError` here — before the intent is
+        even queued."""
+        if self.fence is not None:
+            self.fence()
         return self.queue.submit(intent)
 
     def stop(self, timeout: float | None = 30.0) -> None:

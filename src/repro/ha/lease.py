@@ -1,0 +1,263 @@
+"""Lease-based primary election with monotonic fencing tokens.
+
+One small file — ``lease.json`` in a shared directory — is the whole
+election substrate.  A node holds the primary role iff the file names it
+as ``holder`` at the node's own ``epoch`` and the ``deadline`` has not
+passed.  Every takeover bumps the epoch past ``max_epoch``, the high-water
+mark of every epoch ever granted, so fencing tokens are **strictly
+monotonic across elections and crashes**: a node that restarts, a file
+that loses its current holder, even a release-and-reacquire by the same
+node — none of them can ever mint an epoch the cluster has seen before.
+
+The file is written atomically (tmp + fsync + rename + dir-fsync, the same
+discipline as checkpoints), so a crash mid-write leaves the previous lease
+intact and two racing writers serialize on the rename.  :class:`LeaseStore`
+additionally holds an in-process mutex so the in-process failover harness
+(:mod:`repro.ha.cluster`) gets linearizable read-modify-write without
+depending on OS file locking.
+
+Fencing is pull-based: :meth:`LeaseCoordinator.check_fence` re-reads the
+file and raises :class:`~repro.errors.FencedError` unless this node is the
+current, unexpired holder at its own epoch.  Installed as the
+:class:`~repro.durability.wal.WriteAheadLog` fence and at the front-end
+dispatch seam, it makes a deposed primary's appends and HTTP writes fail
+fast instead of racing the new primary.
+
+The clock is injectable (``clock=time.time`` by default) so tests drive
+expiry deterministically; production nodes compare wall-clock deadlines,
+which is safe because expiry only ever *widens* the no-primary window —
+a slow clock delays takeover, it never permits two holders.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.durability.wal import _fsync_dir
+from repro.errors import DurabilityError, FencedError
+
+LEASE_NAME = "lease.json"
+
+
+@dataclass(frozen=True)
+class LeaseState:
+    """One decoded ``lease.json``: who holds the lease, at which epoch,
+    until when — plus ``max_epoch``, the never-decreasing high-water mark
+    new grants must exceed."""
+
+    holder: str | None
+    epoch: int
+    deadline: float
+    max_epoch: int
+
+    def to_dict(self) -> dict:
+        """JSON-native form (exactly what ``lease.json`` holds)."""
+        return {
+            "holder": self.holder,
+            "epoch": int(self.epoch),
+            "deadline": float(self.deadline),
+            "max_epoch": int(self.max_epoch),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "LeaseState":
+        return cls(
+            holder=raw.get("holder"),
+            epoch=int(raw.get("epoch", 0)),
+            deadline=float(raw.get("deadline", 0.0)),
+            max_epoch=int(raw.get("max_epoch", 0)),
+        )
+
+    @classmethod
+    def empty(cls) -> "LeaseState":
+        return cls(holder=None, epoch=0, deadline=0.0, max_epoch=0)
+
+
+class LeaseStore:
+    """The ``lease.json`` file plus the mutex that serializes writers.
+
+    Reads tolerate a missing or corrupt file by degrading to the empty
+    lease (no holder, max_epoch 0) — corruption can only *lose* the
+    high-water mark if the file itself is destroyed, which is the same
+    failure domain as losing the WAL directory it fences.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / LEASE_NAME
+        self._lock = threading.Lock()
+
+    def read(self) -> LeaseState:
+        """The current lease (the empty lease when missing/corrupt)."""
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return LeaseState.empty()
+        try:
+            return LeaseState.from_dict(raw)
+        except (TypeError, ValueError):
+            return LeaseState.empty()
+
+    def _write(self, state: LeaseState) -> None:
+        tmp = self.path.with_suffix(".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(state.to_dict(), fh, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        _fsync_dir(self.directory)
+
+    def mutate(
+        self, fn: Callable[[LeaseState], LeaseState | None]
+    ) -> LeaseState:
+        """Atomically read-modify-write: ``fn`` maps the current state to
+        the next one (or ``None`` to leave it untouched).  Returns the
+        state in force after the call."""
+        with self._lock:
+            state = self.read()
+            nxt = fn(state)
+            if nxt is None:
+                return state
+            self._write(nxt)
+            return nxt
+
+
+class LeaseCoordinator:
+    """One node's view of the election: acquire, renew, release, fence.
+
+    ``epoch`` is ``None`` whenever this node does not believe it holds the
+    lease; it becomes the granted fencing token on a successful
+    :meth:`try_acquire` and reverts to ``None`` the moment a renewal
+    discovers the lease expired or changed hands.
+    """
+
+    def __init__(
+        self,
+        node: str,
+        store: LeaseStore,
+        ttl_s: float = 2.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if ttl_s <= 0:
+            raise DurabilityError("lease ttl must be > 0")
+        self.node = node
+        self.store = store
+        self.ttl_s = float(ttl_s)
+        self.clock = clock
+        self.epoch: int | None = None
+
+    @property
+    def is_primary(self) -> bool:
+        """Whether this node currently believes it holds the lease.  Belief,
+        not truth: only :meth:`check_fence` re-reads the file."""
+        return self.epoch is not None
+
+    def try_acquire(self) -> int | None:
+        """Claim the lease if it is free, expired, or already ours.
+
+        A fresh grant gets epoch ``max_epoch + 1``; re-acquiring our own
+        live lease keeps the current epoch (it is a renewal).  Returns the
+        held epoch, or ``None`` if another node holds an unexpired lease.
+        """
+        now = self.clock()
+
+        def fn(state: LeaseState) -> LeaseState | None:
+            ours = state.holder == self.node and state.epoch == self.epoch
+            free = state.holder is None or state.deadline <= now or ours
+            if not free:
+                return None
+            epoch = state.epoch if ours else state.max_epoch + 1
+            return LeaseState(
+                holder=self.node,
+                epoch=epoch,
+                deadline=now + self.ttl_s,
+                max_epoch=max(state.max_epoch, epoch),
+            )
+
+        state = self.store.mutate(fn)
+        if state.holder == self.node and state.deadline > now:
+            self.epoch = state.epoch
+            return self.epoch
+        self.epoch = None
+        return None
+
+    def renew(self) -> bool:
+        """Extend our lease if we still hold it **and it has not expired**.
+        An expired lease may already belong to someone else's takeover —
+        renewal must go back through :meth:`try_acquire` (new epoch)."""
+        if self.epoch is None:
+            return False
+        now = self.clock()
+
+        def fn(state: LeaseState) -> LeaseState | None:
+            if (
+                state.holder != self.node
+                or state.epoch != self.epoch
+                or state.deadline <= now
+            ):
+                return None
+            return LeaseState(
+                holder=self.node,
+                epoch=state.epoch,
+                deadline=now + self.ttl_s,
+                max_epoch=state.max_epoch,
+            )
+
+        state = self.store.mutate(fn)
+        held = (
+            state.holder == self.node
+            and state.epoch == self.epoch
+            and state.deadline > now
+        )
+        if not held:
+            self.epoch = None
+        return held
+
+    def release(self) -> None:
+        """Step down voluntarily: clear the holder (keeping ``max_epoch``)
+        so a successor can take over without waiting out the TTL."""
+        epoch = self.epoch
+        self.epoch = None
+        if epoch is None:
+            return
+
+        def fn(state: LeaseState) -> LeaseState | None:
+            if state.holder != self.node or state.epoch != epoch:
+                return None
+            return LeaseState(
+                holder=None,
+                epoch=state.epoch,
+                deadline=0.0,
+                max_epoch=state.max_epoch,
+            )
+
+        self.store.mutate(fn)
+
+    def check_fence(self) -> int:
+        """The fence: re-read the lease and raise
+        :class:`~repro.errors.FencedError` unless this node is the current,
+        unexpired holder at its own epoch.  Returns the epoch on success.
+        Installed as :attr:`WriteAheadLog.fence` this makes every journal
+        append on a deposed primary fail before it allocates an LSN."""
+        epoch = self.epoch
+        if epoch is None:
+            raise FencedError(f"node {self.node!r} holds no lease")
+        state = self.store.read()
+        if state.holder != self.node or state.epoch != epoch:
+            raise FencedError(
+                f"node {self.node!r} fenced: lease now held by "
+                f"{state.holder!r} at epoch {state.epoch} (ours was {epoch})"
+            )
+        if state.deadline <= self.clock():
+            raise FencedError(
+                f"node {self.node!r} fenced: lease epoch {epoch} expired"
+            )
+        return epoch

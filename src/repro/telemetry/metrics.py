@@ -43,6 +43,16 @@ DEFAULT_LATENCY_BUCKETS = (
     1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1.0,
 )
 
+#: Buckets (seconds) for HA replication-lag and failover-time histograms:
+#: shipping inside one process lands in the sub-millisecond bins, a lagging
+#: standby or a lease-expiry failover in the right half, and anything past
+#: 30 s overflows — a replica that far behind is an operator page, not a
+#: datapoint.
+REPLICATION_LAG_BUCKETS = (
+    1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 2.5e-1, 5e-1,
+    1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
 
 @dataclass
 class Counter:

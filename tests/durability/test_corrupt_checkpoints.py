@@ -1,0 +1,111 @@
+"""Checkpoint damage beyond what retention can hide, and the atomic-rename
+crash windows.
+
+Two escalations past ``test_store_skips_corrupt_latest``:
+
+* **Every retained checkpoint corrupt.**  With the WAL uncompacted recovery
+  must fall back to the empty state + a full replay — landing bit-identical
+  — and say so in a recovery *note* (a silent fallback would hide real disk
+  damage).  With the WAL compacted the fallback cannot reach the committed
+  state, and recovery must *fail loudly* instead of serving a partial one.
+* **Crashes inside the rename windows** (checkpoint write and WAL
+  compaction, between ``os.replace`` and the directory fsync): whichever
+  side of the window death strikes, recovery lands on the committed digest.
+"""
+
+import pytest
+
+from repro.durability import (
+    CHECKPOINT_SITES,
+    CrashError,
+    CrashPoint,
+    FabricDurability,
+    FaultInjector,
+    recover_fabric,
+)
+from repro.durability.checkpoint import CheckpointStore, fabric_checkpoint
+from tests.durability.conftest import chain, make_fabric
+
+
+def corrupt_every_checkpoint(directory) -> int:
+    store = CheckpointStore(directory)
+    lsns = store.lsns()
+    for lsn in lsns:
+        path = store.path_for(lsn)
+        path.write_text('{"crc": 0, "checkpoint": {"lsn": %d}}' % lsn,
+                        encoding="utf-8")
+    return len(lsns)
+
+
+def test_all_corrupt_checkpoints_fall_back_to_full_replay(tmp_path):
+    fabric = make_fabric()
+    durability = FabricDurability(tmp_path, fsync="always", checkpoint_every=0)
+    durability.attach(fabric)
+    for t in range(1, 8):
+        fabric.admit(chain(t))
+    # Checkpoints without compaction: the full WAL stays on disk.
+    durability.store.save(fabric_checkpoint(fabric, durability.wal.last_lsn))
+    fabric.admit(chain(8))
+    durability.store.save(fabric_checkpoint(fabric, durability.wal.last_lsn))
+    expected = fabric.digest()
+    durability.close()
+
+    damaged = corrupt_every_checkpoint(tmp_path)
+    assert damaged == 2
+    recovered, report = recover_fabric(tmp_path)
+    assert report.ok, report.problems
+    assert report.checkpoint_lsn == 0  # none loaded: empty state + replay
+    assert report.replayed == 8
+    assert recovered.digest() == expected
+    assert any("falling back to empty state" in note for note in report.notes)
+
+
+def test_all_corrupt_checkpoints_with_compacted_wal_fail_loudly(tmp_path):
+    """Once compaction has dropped the early records, a corrupt checkpoint
+    set is unrecoverable — and recovery must say so, not serve a tail-only
+    fabric as if it were whole."""
+    fabric = make_fabric()
+    durability = FabricDurability(
+        tmp_path, fsync="always", checkpoint_every=0, keep_checkpoints=1
+    )
+    durability.attach(fabric)
+    for t in range(1, 8):
+        fabric.admit(chain(t))
+    durability.checkpoint(fabric)  # compacts the WAL behind base_lsn
+    fabric.admit(chain(8))
+    durability.close()
+
+    assert corrupt_every_checkpoint(tmp_path) == 1
+    _recovered, report = recover_fabric(tmp_path)
+    assert not report.ok
+    assert any("unrecoverable" in p for p in report.problems)
+    assert any("falling back to empty state" in note for note in report.notes)
+
+
+@pytest.mark.parametrize("site", CHECKPOINT_SITES)
+@pytest.mark.parametrize("ordinal", [1, 2])
+def test_rename_window_crashes_recover_bit_identical(tmp_path, site, ordinal):
+    fabric = make_fabric()
+    durability = FabricDurability(
+        tmp_path,
+        fsync="always",
+        checkpoint_every=4,
+        fault_hook=FaultInjector(CrashPoint(site, at=ordinal)),
+    )
+    durability.attach(fabric)
+    committed = {0: fabric.digest()}
+    with pytest.raises(CrashError):
+        for t in range(1, 40):
+            fabric.admit(chain(t))
+            committed[durability.wal.last_lsn] = fabric.digest()
+    # Death struck inside an op's auto-checkpoint: the op itself committed
+    # (mutation + journal precede the checkpoint), so its digest is the
+    # fabric's current state.
+    committed.setdefault(durability.wal.last_lsn, fabric.digest())
+    durability.abort()
+
+    recovered, report = recover_fabric(tmp_path)
+    assert report.ok, report.problems
+    lsn = max(report.last_lsn, report.checkpoint_lsn)
+    assert recovered.digest() == committed[lsn]
+    assert recovered.check_invariant() == []

@@ -1,0 +1,160 @@
+"""The lease: acquisition, renewal, expiry, release, and the fence — all
+driven by the injectable clock, plus the monotonic-epoch guarantees the
+fencing protocol rests on."""
+
+import json
+
+import pytest
+
+from repro.errors import DurabilityError, FencedError
+from repro.ha import LeaseCoordinator, LeaseStore
+from repro.ha.lease import LeaseState
+
+
+@pytest.fixture
+def store(tmp_path) -> LeaseStore:
+    return LeaseStore(tmp_path / "lease")
+
+
+def coordinator(node, store, clock, ttl=2.0) -> LeaseCoordinator:
+    return LeaseCoordinator(node, store, ttl_s=ttl, clock=clock)
+
+
+def test_fresh_acquire_grants_epoch_one(store, clock):
+    a = coordinator("a", store, clock)
+    assert a.try_acquire() == 1
+    assert a.is_primary
+    state = store.read()
+    assert state.holder == "a"
+    assert state.epoch == 1
+    assert state.max_epoch == 1
+    assert state.deadline == clock.now + 2.0
+
+
+def test_second_node_cannot_steal_an_unexpired_lease(store, clock):
+    a = coordinator("a", store, clock)
+    b = coordinator("b", store, clock)
+    assert a.try_acquire() == 1
+    assert b.try_acquire() is None
+    assert not b.is_primary
+    assert store.read().holder == "a"
+
+
+def test_renew_extends_the_deadline(store, clock):
+    a = coordinator("a", store, clock)
+    a.try_acquire()
+    clock.advance(1.5)
+    assert a.renew()
+    assert store.read().deadline == clock.now + 2.0
+    assert a.epoch == 1  # renewal never mints a new epoch
+
+
+def test_renew_fails_once_expired(store, clock):
+    a = coordinator("a", store, clock)
+    a.try_acquire()
+    clock.advance(2.5)
+    assert not a.renew()
+    assert a.epoch is None  # belief dropped: back through try_acquire
+
+
+def test_takeover_after_expiry_bumps_the_epoch(store, clock):
+    a = coordinator("a", store, clock)
+    b = coordinator("b", store, clock)
+    a.try_acquire()
+    clock.advance(2.5)
+    assert b.try_acquire() == 2
+    state = store.read()
+    assert state.holder == "b"
+    assert state.max_epoch == 2
+
+
+def test_reacquire_of_own_live_lease_keeps_the_epoch(store, clock):
+    a = coordinator("a", store, clock)
+    assert a.try_acquire() == 1
+    clock.advance(0.5)
+    assert a.try_acquire() == 1  # our own live lease: renewal semantics
+
+
+def test_release_then_reacquire_still_mints_a_fresh_epoch(store, clock):
+    """max_epoch survives release: even the same node re-acquiring its own
+    released lease can never see a previously-granted epoch again."""
+    a = coordinator("a", store, clock)
+    assert a.try_acquire() == 1
+    a.release()
+    assert store.read().holder is None
+    assert store.read().max_epoch == 1
+    assert a.try_acquire() == 2
+
+
+def test_restarted_node_cannot_reuse_an_epoch(store, clock):
+    a = coordinator("a", store, clock)
+    a.try_acquire()
+    clock.advance(3.0)
+    # Crash-restart: a brand-new coordinator object, same store.
+    a2 = coordinator("a", store, clock)
+    assert a2.try_acquire() == 2
+
+
+def test_check_fence_passes_for_the_live_holder(store, clock):
+    a = coordinator("a", store, clock)
+    a.try_acquire()
+    assert a.check_fence() == 1
+
+
+def test_check_fence_raises_without_a_lease(store, clock):
+    a = coordinator("a", store, clock)
+    with pytest.raises(FencedError):
+        a.check_fence()
+
+
+def test_check_fence_raises_after_expiry(store, clock):
+    a = coordinator("a", store, clock)
+    a.try_acquire()
+    clock.advance(2.5)
+    with pytest.raises(FencedError):
+        a.check_fence()
+
+
+def test_check_fence_raises_after_a_takeover(store, clock):
+    """The deposed primary still *believes* it is primary (epoch set) but
+    the fence re-reads the file and sees the successor."""
+    a = coordinator("a", store, clock)
+    b = coordinator("b", store, clock)
+    a.try_acquire()
+    clock.advance(2.5)
+    b.try_acquire()
+    assert a.is_primary  # stale belief...
+    with pytest.raises(FencedError, match="held by 'b' at epoch 2"):
+        a.check_fence()  # ...corrected here
+
+
+def test_corrupt_lease_file_degrades_to_the_empty_lease(store, clock):
+    a = coordinator("a", store, clock)
+    a.try_acquire()
+    store.path.write_text("{not json", encoding="utf-8")
+    assert store.read() == LeaseState.empty()
+    # And the next acquire starts the epoch sequence over from the file's
+    # point of view — corruption of the election substrate is the same
+    # failure domain as losing the WAL directory it fences.
+    b = coordinator("b", store, clock)
+    assert b.try_acquire() == 1
+
+
+def test_lease_file_is_valid_json_with_no_tmp_residue(store, clock):
+    a = coordinator("a", store, clock)
+    a.try_acquire()
+    raw = json.loads(store.path.read_text(encoding="utf-8"))
+    assert raw == {
+        "holder": "a", "epoch": 1, "deadline": clock.now + 2.0, "max_epoch": 1
+    }
+    leftovers = [p.name for p in store.directory.iterdir()]
+    assert leftovers == ["lease.json"]  # tmp file renamed away atomically
+
+
+def test_missing_file_reads_as_empty(store):
+    assert store.read() == LeaseState.empty()
+
+
+def test_ttl_must_be_positive(store, clock):
+    with pytest.raises(DurabilityError):
+        LeaseCoordinator("a", store, ttl_s=0.0, clock=clock)

@@ -316,3 +316,27 @@ def test_serve_refuses_journaling_with_impure_partitioner(capsys, tmp_path):
     captured = capsys.readouterr()
     assert code == 2
     assert "pure partitioner" in captured.err
+def test_ha_demo_fails_over_with_zero_lost_acks(capsys, tmp_path):
+    code = main([
+        "ha", "demo", "--dir", str(tmp_path), "--events", "20",
+        "--ttl", "0.2", "--kill-mode", "corrupt", "--seed", "5",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "primary elected at epoch 1" in out
+    assert "failover to epoch 2" in out
+    assert "acknowledged ops preserved" in out
+    assert "deposed primary fenced" in out
+
+
+def test_ha_status_reports_lease_and_logs(capsys, tmp_path):
+    assert main([
+        "ha", "demo", "--dir", str(tmp_path), "--events", "10",
+        "--ttl", "0.2", "--seed", "5",
+    ]) == 0
+    capsys.readouterr()
+    assert main(["ha", "status", "--dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "lease: holder=" in out
+    assert "epoch=2" in out
+    assert "primary:" in out and "standby:" in out
