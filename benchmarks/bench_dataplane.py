@@ -1,22 +1,57 @@
-"""Microbenchmarks of the functional data plane itself.
+#!/usr/bin/env python
+"""Dataplane benchmarks: interpreter microbenches + the compiled fast path.
 
-Not a paper figure: measures the simulator's packet-processing rate and the
-placement state's probe cost, so regressions in the hot paths (table lookup,
-``PipelineState.fits``) are visible over time.  The indexed-vs-linear table
-lookup pair tracks the lookup engine's edge directly;
-``benchmarks/bench_lookup.py`` is the standalone (no pytest) sweep of the
-same workload across entry counts.
+Two halves:
+
+* **pytest-benchmark microbenches** (run under ``pytest benchmarks/``):
+  the simulator's packet rate, ``PipelineState.fits`` probe cost, and the
+  indexed-vs-linear lookup pair, so regressions in the hot paths stay
+  visible over time.
+* **the standalone compiled-vs-interpreted sweep** (no pytest needed):
+  builds a multi-tenant fabric-shaped workload — N tenants, each with the
+  Fig. 4 chain (firewall, traffic classifier, load balancer, router) and
+  64 rules per NF — and measures ``process_batch`` throughput with and
+  without a :class:`repro.fastpath.FastPathEngine` attached, recording
+  everything into ``BENCH_dataplane.json``:
+
+      python benchmarks/bench_dataplane.py            # full sweep + JSON
+      python benchmarks/bench_dataplane.py --smoke    # CI guard
+
+  ``--smoke`` exits non-zero unless the compiled path beats the
+  interpreter by >= 5x on the small workload; the full sweep asserts the
+  >= 10x acceptance bar on the 10k-entry case.  Both verify a sample
+  batch bit-identical against the interpreter before timing anything.
 """
 
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+if __package__ in (None, ""):  # running as a script: make src/ importable
+    _root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+    sys.path.insert(0, os.path.join(_root, "src"))
+    sys.path.insert(0, _root)
+
 from repro.core.state import PipelineState
-from repro.experiments.fig4_throughput import build_demo_pipeline
+from repro.dataplane.pipeline import SwitchPipeline
+from repro.dataplane.virtualization import LogicalNF, LogicalSFC, SFCVirtualizer
+from repro.experiments.fig4_throughput import CHAIN, build_demo_pipeline
+from repro.core.spec import SwitchSpec
+from repro.nfs import get_nf, install_physical_nf
 from repro.rng import DEFAULT_SEED, make_rng
+from repro.telemetry.metrics import Timer
 from repro.traffic import WorkloadConfig, make_instance
 from repro.traffic.flows import FlowGenerator
 
 from benchmarks.bench_lookup import build_entries, build_packets, build_table
 
 
+# ---------------------------------------------------------------------------
+# pytest-benchmark microbenches
+# ---------------------------------------------------------------------------
 def test_pipeline_packet_rate(benchmark):
     pipeline, _virt = build_demo_pipeline(seed=1)
     gen = FlowGenerator(1)
@@ -78,3 +113,198 @@ def test_table_lookup_linear_rate(benchmark):
         return table.hits + table.misses
 
     assert benchmark(sweep) > 0
+
+
+# ---------------------------------------------------------------------------
+# Compiled-vs-interpreted sweep (standalone)
+# ---------------------------------------------------------------------------
+#: Rules per NF per tenant; with the 4-NF chain a tenant carries 256 rules.
+RULES_PER_NF = 64
+
+
+def build_multitenant_pipeline(num_tenants: int, seed: int):
+    """A 4-stage pipeline hosting ``num_tenants`` virtualized Fig. 4
+    chains — the SFP sharing model at benchmark scale.  Returns the
+    pipeline and the tenant IDs."""
+    rng = make_rng(seed)
+    spec = SwitchSpec(stages=4, blocks_per_stage=64)
+    pipeline = SwitchPipeline(spec=spec, max_passes=4)
+    for stage, name in enumerate(CHAIN):
+        install_physical_nf(pipeline, name, stage)
+    virtualizer = SFCVirtualizer(pipeline)
+    tenants = list(range(1, num_tenants + 1))
+    for tenant_id in tenants:
+        nfs = tuple(
+            LogicalNF(
+                nf_name=name,
+                rules=tuple(get_nf(name).generate_rules(rng, RULES_PER_NF)),
+            )
+            for name in CHAIN
+        )
+        virtualizer.install_sfc(LogicalSFC(tenant_id=tenant_id, nfs=nfs))
+    return pipeline, tenants
+
+
+def make_multitenant_batch(tenants, num_packets: int, seed: int):
+    """``num_packets`` packets spread round-robin across the tenants (the
+    per-tenant slices are contiguous flows, like real per-tenant traffic)."""
+    per_tenant = max(1, num_packets // len(tenants))
+    batch = []
+    for tenant_id in tenants:
+        gen = FlowGenerator(seed + tenant_id)
+        flows = gen.flows(8, tenant_id=tenant_id)
+        batch.extend(gen.packets(flows, per_tenant, size_bytes=64))
+    return batch[:num_packets] if len(batch) > num_packets else batch
+
+
+def _result_key(r):
+    p = r.packet
+    return (
+        p.tenant_id, p.src_ip, p.dst_ip, p.src_port, p.dst_port,
+        p.protocol, p.dscp, p.pass_id, p.recirculate, p.dropped,
+        p.egress_port, r.passes, r.latency_ns,
+    )
+
+
+def verify_bit_identity(num_tenants: int, num_packets: int, seed: int, backend: str) -> None:
+    """Differential guard run before any timing: compiled results must be
+    bit-identical to the interpreter on this workload."""
+    from repro.fastpath import FastPathEngine
+
+    ref_pipeline, tenants = build_multitenant_pipeline(num_tenants, seed)
+    got_pipeline, _ = build_multitenant_pipeline(num_tenants, seed)
+    FastPathEngine.attach(got_pipeline, backend=backend)
+    ref = ref_pipeline.process_batch(make_multitenant_batch(tenants, num_packets, seed))
+    got = got_pipeline.process_batch(make_multitenant_batch(tenants, num_packets, seed))
+    mismatches = sum(
+        1 for a, b in zip(ref, got) if _result_key(a) != _result_key(b)
+    )
+    if mismatches:
+        raise AssertionError(
+            f"compiled path diverged from the interpreter on "
+            f"{mismatches}/{len(ref)} packets (backend={backend})"
+        )
+
+
+def bench_case(num_tenants: int, num_packets: int, reps: int, seed: int) -> dict:
+    """Best-of-``reps`` pps for the interpreter and each available compiled
+    backend on one workload size."""
+    from repro.fastpath import HAS_NUMPY, FastPathEngine
+
+    pipeline, tenants = build_multitenant_pipeline(num_tenants, seed)
+    modes = [("interpreted", None)]
+    if HAS_NUMPY:
+        modes.append(("compiled_numpy", "numpy"))
+    modes.append(("compiled_python", "python"))
+
+    pps: dict[str, float] = {}
+    for mode, backend in modes:
+        if backend is None:
+            pipeline.fastpath = None
+        else:
+            engine = FastPathEngine.attach(pipeline, backend=backend)
+            # Warm the plan cache: the one-off compile is control-plane
+            # work, not packet cost (it is amortized over every batch).
+            pipeline.process_batch(make_multitenant_batch(tenants, 64, seed))
+        best = float("inf")
+        for rep in range(reps):
+            batch = make_multitenant_batch(tenants, num_packets, seed + rep)
+            with Timer() as timer:
+                pipeline.process_batch(batch)
+            best = min(best, timer.elapsed_s / len(batch))
+        pps[mode] = 1.0 / best
+        if backend is not None:
+            engine.detach()
+    compiled = pps.get("compiled_numpy", pps["compiled_python"])
+    return {
+        "tenants": num_tenants,
+        "entries": pipeline.total_entries(),
+        "batch_packets": num_packets,
+        "reps": reps,
+        "packets_per_sec": {m: round(v, 1) for m, v in pps.items()},
+        "speedup": round(compiled / pps["interpreted"], 2),
+    }
+
+
+#: Acceptance bars (compiled/interpreted pps): the smoke workload must
+#: clear 5x in CI; the full 10k-entry sweep case must clear 10x.
+SMOKE_MIN_SPEEDUP = 5.0
+FULL_MIN_SPEEDUP = 10.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI guard: one small workload, >= 5x assertion",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
+                             "BENCH_dataplane.json"),
+        help="where to write the JSON report (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.fastpath import HAS_NUMPY
+
+    backend = "numpy" if HAS_NUMPY else "python"
+    if args.smoke:
+        cases, reps, verify_packets = [(8, 1024)], 3, 512
+        min_speedup = SMOKE_MIN_SPEEDUP
+    else:
+        # 40 tenants x 4 NFs x 64 rules = 10,240 installed entries: the
+        # acceptance workload.
+        cases, reps, verify_packets = [(8, 2048), (20, 4096), (40, 8192)], 3, 1024
+        min_speedup = FULL_MIN_SPEEDUP
+
+    verify_bit_identity(cases[-1][0], verify_packets, args.seed, backend)
+    print(
+        f"bit-identity verified on {verify_packets} packets "
+        f"({cases[-1][0]} tenants, backend={backend})"
+    )
+
+    results = []
+    for num_tenants, num_packets in cases:
+        case = bench_case(num_tenants, num_packets, reps, args.seed)
+        results.append(case)
+        rates = case["packets_per_sec"]
+        line = (
+            f"{case['entries']:>6} entries, {num_tenants:>3} tenants: "
+            f"interpreted {rates['interpreted']:>10,.0f} pps"
+        )
+        for mode in ("compiled_numpy", "compiled_python"):
+            if mode in rates:
+                line += f"   {mode.split('_')[1]} {rates[mode]:>12,.0f} pps"
+        print(line + f"   speedup {case['speedup']:.1f}x")
+
+    report = {
+        "benchmark": "dataplane-fastpath",
+        "seed": args.seed,
+        "python": sys.version.split()[0],
+        "backend": backend,
+        "smoke": args.smoke,
+        "min_speedup": min_speedup,
+        "cases": results,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {os.path.abspath(args.out)}")
+
+    worst = results[-1]
+    if worst["speedup"] < min_speedup:
+        print(
+            f"FAIL: compiled path {worst['speedup']}x < {min_speedup}x on "
+            f"the {worst['entries']}-entry workload",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: compiled >= {min_speedup}x interpreted "
+          f"({worst['speedup']}x on {worst['entries']} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

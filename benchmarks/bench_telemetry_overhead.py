@@ -23,18 +23,31 @@ back to back on freshly generated packets, so all four see the same
 machine conditions.  The reported ``overhead_pct`` compares each mode's
 best (minimum) time against the ``off`` best: with enough repetitions
 both minimums converge to the true floor, so their ratio is the real
-overhead.  The assertion additionally accepts the **minimum paired
-ratio** (``overhead_paired_pct``): if in *any* repetition a mode ran
-within X% of the adjacent ``off`` run, its intrinsic overhead is below
-X%, whatever the scheduler was doing in the other repetitions — either
-estimator under the bar passes.  On a failed check, the CI guard
+overhead.  The assertion additionally accepts the **median paired
+ratio** (``overhead_paired_pct``): each repetition yields one
+mode-vs-adjacent-``off`` ratio, and the median across repetitions is
+robust to scheduler noise that poisons a minority of runs — either
+estimator under the bar passes.  (An earlier revision took the *minimum*
+paired ratio, which is biased low — the minimum of noisy ratios
+systematically lands below 1.0, reporting impossible negative overheads
+of -30% and worse; the median is a consistent estimator and agrees in
+sign with the best-of floors.)  On a failed check, the CI guard
 re-measures with doubled repetitions before declaring a failure, since a
 loaded runner can poison a whole measurement.
+
+``--fastpath`` attaches the compiled dataplane fast path
+(:mod:`repro.fastpath`) to the benched pipeline before timing, so the
+same four telemetry modes are measured over the columnar kernels.  This
+mode is report-only: sampled packets deliberately route through the
+interpreter to keep postcards bit-exact, so "sampling overhead" against
+a compiled baseline measures the interpreter gap, not the hooks — the
+<1%/<10% bars only apply to the interpreted path.
 
 Run directly (no pytest needed):
 
     python benchmarks/bench_telemetry_overhead.py            # full run + JSON
     python benchmarks/bench_telemetry_overhead.py --smoke    # CI guard
+    python benchmarks/bench_telemetry_overhead.py --fastpath # compiled path
 """
 
 from __future__ import annotations
@@ -70,15 +83,31 @@ def make_batch(num_packets: int, seed: int):
     return gen.packets(flows, num_packets, size_bytes=64)
 
 
-def bench_dataplane(num_packets: int, reps: int, seed: int) -> dict:
+def bench_dataplane(
+    num_packets: int,
+    reps: int,
+    seed: int,
+    fastpath: bool = False,
+    fastpath_backend: str = "auto",
+) -> dict:
     """Best-of-``reps`` ``process_batch`` wall time per telemetry mode,
     interleaved so every mode sees the same machine conditions."""
+    from statistics import median
+
     from repro.experiments.fig4_throughput import build_demo_pipeline
 
     pipeline, _virt = build_demo_pipeline(seed=seed)
+    backend = None
+    if fastpath:
+        from repro.fastpath import FastPathEngine
+
+        engine = FastPathEngine.attach(pipeline, backend=fastpath_backend)
+        backend = engine.backend
+        # Warm the plan cache so no timed run pays the one-off compile.
+        pipeline.process_batch(make_batch(64, seed))
     best: dict[str, float] = {name: float("inf") for name, _ in MODES}
-    best_ratio: dict[str, float] = {
-        name: float("inf") for name, _ in MODES if name != "off"
+    ratios: dict[str, list[float]] = {
+        name: [] for name, _ in MODES if name != "off"
     }
     for rep in range(reps):
         times: dict[str, float] = {}
@@ -92,13 +121,15 @@ def bench_dataplane(num_packets: int, reps: int, seed: int) -> dict:
                 pipeline.process_batch(batch)
             times[name] = timer.elapsed_s
             best[name] = min(best[name], timer.elapsed_s)
-        for name in best_ratio:
-            best_ratio[name] = min(best_ratio[name], times[name] / times["off"])
+        for name in ratios:
+            ratios[name].append(times[name] / times["off"])
     pipeline.telemetry = None
     base = best["off"]
     return {
         "num_packets": num_packets,
         "reps": reps,
+        "fastpath": fastpath,
+        "fastpath_backend": backend,
         "packets_per_sec": {
             name: round(num_packets / t, 1) for name, t in best.items()
         },
@@ -107,9 +138,11 @@ def bench_dataplane(num_packets: int, reps: int, seed: int) -> dict:
             for name, t in best.items()
             if name != "off"
         },
+        # Median of the per-repetition paired ratios: consistent where the
+        # old min-of-ratios was biased negative (see module docstring).
         "overhead_paired_pct": {
-            name: round(100.0 * (ratio - 1.0), 2)
-            for name, ratio in best_ratio.items()
+            name: round(100.0 * (median(series) - 1.0), 2)
+            for name, series in ratios.items()
         },
     }
 
@@ -154,12 +187,22 @@ def bench_control_plane(duration_s: float, reps: int, seed: int) -> dict:
     }
 
 
-def run(num_packets: int, reps: int, duration_s: float, seed: int) -> dict:
+def run(
+    num_packets: int,
+    reps: int,
+    duration_s: float,
+    seed: int,
+    fastpath: bool = False,
+    fastpath_backend: str = "auto",
+) -> dict:
     return {
         "benchmark": "telemetry-overhead",
         "seed": seed,
         "python": sys.version.split()[0],
-        "dataplane": bench_dataplane(num_packets, reps, seed),
+        "dataplane": bench_dataplane(
+            num_packets, reps, seed,
+            fastpath=fastpath, fastpath_backend=fastpath_backend,
+        ),
         "control_plane": bench_control_plane(duration_s, reps, seed),
     }
 
@@ -200,6 +243,16 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
+        "--fastpath", action="store_true",
+        help="attach the compiled fast path to the benched pipeline "
+             "(report-only: the <1%%/<10%% bars are interpreter bars)",
+    )
+    parser.add_argument(
+        "--fastpath-backend",
+        choices=("auto", "numpy", "python"), default="auto",
+        help="fast-path kernel backend when --fastpath is set",
+    )
+    parser.add_argument(
         "--out",
         default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
                              "BENCH_telemetry.json"),
@@ -222,7 +275,14 @@ def main(argv=None) -> int:
         report = run(
             num_packets=num_packets, reps=reps, duration_s=duration_s,
             seed=args.seed,
+            fastpath=args.fastpath, fastpath_backend=args.fastpath_backend,
         )
+        if args.fastpath:
+            # Sampled/traced packets route through the interpreter by
+            # design (postcard bit-exactness), so the hook-cost bars do
+            # not apply to the compiled path: report, don't assert.
+            failures = []
+            break
         failures = check(report)
         if not failures:
             break
@@ -248,6 +308,12 @@ def main(argv=None) -> int:
     print(f"wrote {os.path.abspath(args.out)}")
     if failures:
         return 1
+    if args.fastpath:
+        print(
+            "ok: compiled-path report only (hook-cost bars apply to the "
+            "interpreted path)"
+        )
+        return 0
     paired = report["dataplane"]["overhead_paired_pct"]
     print(
         f"ok: idle {min(overhead['idle'], paired['idle'])}% < "

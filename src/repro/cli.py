@@ -391,11 +391,30 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         wal_dir=args.wal_dir,
         fsync=args.fsync,
         partitioner=args.partitioner,
+        fastpath=args.fastpath,
+        fastpath_backend=args.fastpath_backend,
+        traffic_packets=args.traffic,
     )
     print(report.describe())
     summary = fabric.summary()
     print(f"live tenants: {summary['tenants']} "
           f"({summary['stitched_tenants']} stitched across switches)")
+    if args.fastpath:
+        stats = {
+            "compiles": 0, "cache_hits": 0, "invalidations": 0,
+            "compiled_packets": 0, "interpreted_packets": 0,
+        }
+        for shard in fabric.shards.values():
+            if shard.fastpath is not None:
+                for key in stats:
+                    stats[key] += shard.fastpath.stats[key]
+        print(
+            "fastpath: "
+            f"{stats['compiled_packets']} packets compiled, "
+            f"{stats['interpreted_packets']} interpreted; "
+            f"{stats['compiles']} compiles, {stats['cache_hits']} cache "
+            f"hits, {stats['invalidations']} invalidations"
+        )
     return 0 if report.ok else 1
 
 
@@ -935,6 +954,22 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--dataplane", action="store_true",
         help="mirror installs into behavioural pipelines (~10x slower)",
+    )
+    p.add_argument(
+        "--fastpath", action="store_true",
+        help="attach the compiled dataplane fast path to every shard "
+             "pipeline (implies --dataplane)",
+    )
+    p.add_argument(
+        "--fastpath-backend",
+        choices=("auto", "numpy", "python"), default="auto",
+        help="fast-path kernel backend (auto = numpy when installed)",
+    )
+    p.add_argument(
+        "--traffic", type=int, default=0, metavar="N",
+        help="inject N packets per live tenant at every phase boundary "
+             "(needs the data plane; with --fastpath this drives the "
+             "compiled kernels end to end)",
     )
     p.add_argument(
         "--partitioner",

@@ -115,6 +115,8 @@ class SfcController:
         name: str = "switch",
         tracer: Tracer | None = None,
         recorder: FlightRecorder | None = None,
+        fastpath: bool = False,
+        fastpath_backend: str = "auto",
     ) -> None:
         """``instance`` supplies the switch, catalog size and recirculation
         budget (its candidate SFCs, if any, are *not* auto-admitted).  With
@@ -154,6 +156,7 @@ class SfcController:
         self.with_dataplane = with_dataplane
         self.pipeline: SwitchPipeline | None = None
         self.installer: TransactionalInstaller | None = None
+        self.fastpath = None
         if with_dataplane:
             self.pipeline = SwitchPipeline(
                 instance.switch,
@@ -165,6 +168,15 @@ class SfcController:
             # one causally linked tree: controller -> install -> runtime.write.
             self.installer.tracer = tracer
             self.installer.api.tracer = tracer
+            if fastpath:
+                # Compiled dataplane fast path: batches execute per-tenant
+                # compiled plans; the installer's RuntimeAPI writes feed the
+                # engine's precise invalidation layer automatically.
+                from repro.fastpath import FastPathEngine
+
+                self.fastpath = FastPathEngine.attach(
+                    self.pipeline, backend=fastpath_backend
+                )
 
     # ------------------------------------------------------------------
     @classmethod

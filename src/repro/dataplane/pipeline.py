@@ -42,6 +42,10 @@ class SwitchPipeline:
         self.latency_model = (
             latency_model if latency_model is not None else AsicModel.from_spec(self.spec)
         )
+        #: Bumped whenever the set (or order) of resident tables changes
+        #: anywhere in the pipeline — the coarse invalidation key compiled
+        #: fast-path plans check before trusting their step walk.
+        self.structure_generation = 0
         self.stages = [
             Stage(
                 index=s,
@@ -49,6 +53,7 @@ class SwitchPipeline:
                     blocks_total=self.spec.blocks_per_stage,
                     entries_per_block=self.spec.entries_per_block,
                 ),
+                owner=self,
             )
             for s in range(self.spec.stages)
         ]
@@ -59,6 +64,13 @@ class SwitchPipeline:
         #: 1-in-N packet accumulates a per-hop postcard (``None`` = off; the
         #: cost of the disabled hook is one branch per packet).
         self.telemetry: PostcardCollector | None = None
+        #: Opt-in compiled fast path: attach a
+        #: :class:`~repro.fastpath.engine.FastPathEngine` (via
+        #: ``FastPathEngine.attach(pipeline)``) and :meth:`process_batch`
+        #: executes per-tenant compiled plans on columnar kernels, with the
+        #: interpreter below kept as the differential oracle (``None`` =
+        #: every batch takes the interpreted path).
+        self.fastpath = None
 
     @property
     def num_stages(self) -> int:
@@ -84,6 +96,7 @@ class SwitchPipeline:
         packet: Packet,
         trace: bool = False,
         _resolved: dict | None = None,
+        _sampled: bool | None = None,
     ) -> PacketResult:
         """Push one packet through the pipeline (with recirculation).
 
@@ -91,9 +104,18 @@ class SwitchPipeline:
         rows on the result are derived from it); independently, an attached
         :attr:`telemetry` collector samples 1-in-N packets into postcards
         of its own.  Either way the card rides on ``result.postcard``.
+
+        ``_sampled`` pre-decides the telemetry sampling draw: the fast-path
+        engine reserves the collector's counter range for a whole batch up
+        front (one lock instead of one per packet) and routes the sampled
+        packets here with their decision already made — passing it skips
+        the per-packet ``should_sample`` counter advance.
         """
         collector = self.telemetry
-        sampled = collector is not None and collector.should_sample()
+        if _sampled is None:
+            sampled = collector is not None and collector.should_sample()
+        else:
+            sampled = _sampled
         card: PacketPostcard | None = None
         if trace or sampled:
             card = PacketPostcard(
@@ -136,6 +158,22 @@ class SwitchPipeline:
     def process_batch(self, packets: list[Packet], trace: bool = False) -> list[PacketResult]:
         """Process packets independently (the functional model has no
         cross-packet contention; throughput is the latency model's job).
+
+        With a :attr:`fastpath` engine attached the batch executes on
+        per-tenant compiled plans (columnar kernels); otherwise — and for
+        any packet the engine cannot or must not compile — the interpreted
+        walk below runs, making it the always-available differential
+        oracle for the compiled path.
+        """
+        if self.fastpath is not None:
+            return self.fastpath.process_batch(packets, trace=trace)
+        return self.process_batch_interpreted(packets, trace=trace)
+
+    def process_batch_interpreted(
+        self, packets: list[Packet], trace: bool = False
+    ) -> list[PacketResult]:
+        """The reference per-packet interpreter over a batch (the oracle
+        the compiled fast path is differentially tested against).
 
         Batch fast path: one action-resolution memo is shared across the
         whole batch, so each distinct action name hits the registry once.

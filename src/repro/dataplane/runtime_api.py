@@ -121,9 +121,13 @@ class RuntimeAPI:
         """The untraced batch application :meth:`write` wraps."""
         result = WriteResult()
         self.batches_total += 1
-        #: table name -> (stage, table, entries snapshot, reservation state),
-        #: captured on first touch.
+        #: table name -> (stage, table, entries snapshot, reservation state,
+        #: pre-batch generation), captured on first touch.
         touched: dict[str, tuple] = {}
+        #: table name -> entries written (insert/delete targets and MODIFY
+        #: replacements), reported to an attached fast-path engine so it
+        #: can invalidate exactly the affected tenants' compiled plans.
+        written: dict[str, list[TableEntry]] = {}
         for op in ops:
             try:
                 if op.table not in touched:
@@ -133,17 +137,37 @@ class RuntimeAPI:
                         table,
                         table.snapshot(),  # type: ignore[attr-defined]
                         stage.resources.reservation_state(op.table),
+                        getattr(table, "generation", 0),
                     )
                 self._apply_one(op)
             except (DataPlaneError, ResourceExhaustedError) as exc:
                 result.errors.append(f"{op.op.value} {op.table}: {exc}")
-                for name, (stage, table, entries, reservation) in touched.items():
+                for name, (stage, table, entries, reservation, pre_gen) in touched.items():
                     table.restore(entries)  # type: ignore[attr-defined]
                     stage.resources.restore_reservation_state(name, reservation)
+                engine = getattr(self.pipeline, "fastpath", None)
+                if engine is not None:
+                    # The rollback restored the snapshots: content is back
+                    # to the pre-batch state, only generations moved.
+                    for name, (stage, table, entries, reservation, pre_gen) in touched.items():
+                        engine.notify_reverted(
+                            table, pre_gen, getattr(table, "generation", 0)
+                        )
                 result.applied = 0
                 return result
+            batch = written.setdefault(op.table, [])
+            batch.append(op.entry)
+            if op.replacement is not None:
+                batch.append(op.replacement)
             result.applied += 1
             self.writes_total += 1
+        engine = getattr(self.pipeline, "fastpath", None)
+        if engine is not None:
+            for name, entries in written.items():
+                _stage, table, _snap, _reservation, pre_gen = touched[name]
+                engine.notify_write(
+                    table, entries, pre_gen, getattr(table, "generation", 0)
+                )
         return result
 
     # -- conveniences ------------------------------------------------------

@@ -24,12 +24,21 @@ class Stage:
         self,
         index: int,
         resources: StageResources | None = None,
+        owner=None,
     ) -> None:
         if index < 0:
             raise DataPlaneError("stage index must be >= 0")
         self.index = index
         self.resources = resources if resources is not None else StageResources()
         self.tables: list[MatchActionTable] = []
+        #: Owning :class:`~repro.dataplane.pipeline.SwitchPipeline` (when
+        #: any): table install/remove bumps its ``structure_generation`` so
+        #: compiled fast-path plans see the pipeline's table walk changed.
+        self.owner = owner
+
+    def _bump_structure(self) -> None:
+        if self.owner is not None:
+            self.owner.structure_generation += 1
 
     def install_table(self, table: MatchActionTable, reserve_blocks: int = 1) -> None:
         """Install a physical NF's table, reserving its boot-time block(s)."""
@@ -39,12 +48,14 @@ class Stage:
             )
         self.resources.reserve(table.name, blocks=reserve_blocks)
         self.tables.append(table)
+        self._bump_structure()
 
     def remove_table(self, name: str) -> MatchActionTable:
         """Uninstall a physical NF (reconfiguration), releasing its blocks."""
         for i, table in enumerate(self.tables):
             if table.name == name:
                 self.resources.release(name)
+                self._bump_structure()
                 return self.tables.pop(i)
         raise DataPlaneError(f"stage {self.index}: no table named {name!r}")
 

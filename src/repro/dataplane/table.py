@@ -96,6 +96,12 @@ class MatchActionTable:
         self._index: LookupIndex | None = (
             LookupIndex(self.key) if self.indexed else None
         )
+        #: Monotonic rule-churn counter: bumped on every entry mutation
+        #: (insert, delete, restore).  The compiled fast path
+        #: (:mod:`repro.fastpath`) keys its per-tenant plan cache on this —
+        #: a plan compiled against generation G is provably stale the
+        #: moment the table reports G' != G.
+        self.generation = 0
         #: Monotonic sequence assigned per insert; the rank tie-break.
         self._seq = 0
         #: id(entry) -> its live sequence numbers, oldest first (an entry
@@ -129,6 +135,7 @@ class MatchActionTable:
     # -- mutation ----------------------------------------------------------
     def _append(self, entry: TableEntry) -> None:
         """Install a validated, capacity-checked entry (list + index)."""
+        self.generation += 1
         self.entries.append(entry)
         order = self._seq
         self._seq += 1
@@ -139,6 +146,7 @@ class MatchActionTable:
     def _forget(self, entry: TableEntry) -> None:
         """Drop the oldest installed copy of ``entry`` from the index and
         order bookkeeping (the caller already removed it from ``entries``)."""
+        self.generation += 1
         orders = self._orders[id(entry)]
         order = orders.pop(0)
         if not orders:
@@ -220,6 +228,7 @@ class MatchActionTable:
         """Reset the table to a prior :meth:`snapshot`, rebuilding the index
         so insertion-order tie-breaks are exactly as captured.  Hit/miss
         counters are left alone (traffic really happened)."""
+        self.generation += 1
         self.entries = []
         self._seq = 0
         self._orders = {}

@@ -161,6 +161,8 @@ class FabricOrchestrator:
         rule_factory: RuleFactory | None = None,
         tracer: Tracer | None = None,
         recorder: FlightRecorder | None = None,
+        fastpath: bool = False,
+        fastpath_backend: str = "auto",
     ) -> None:
         self.topology = topology
         self.num_types = num_types
@@ -193,6 +195,8 @@ class FabricOrchestrator:
                 name=name,
                 tracer=tracer,
                 recorder=self.recorder,
+                fastpath=fastpath,
+                fastpath_backend=fastpath_backend,
             )
         self.links: dict[LinkKey, LinkState] = {
             key: LinkState(link.capacity_gbps)

@@ -65,6 +65,11 @@ class PhaseReport:
     undrains: int = 0
     invariant_problems: list[str] = field(default_factory=list)
     digest: str = ""
+    #: Phase-boundary traffic probe (0 packets when the runner has traffic
+    #: disabled or the fabric runs control-plane only).
+    traffic_packets: int = 0
+    traffic_delivered: int = 0
+    traffic_pps: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -79,6 +84,10 @@ class PhaseReport:
         out["drains"] = float(self.drains)
         out["undrains"] = float(self.undrains)
         out["invariant_ok"] = self.ok
+        if self.traffic_packets:
+            out["traffic_packets"] = float(self.traffic_packets)
+            out["traffic_delivered"] = float(self.traffic_delivered)
+            out["traffic_pps"] = self.traffic_pps
         return out
 
     def describe(self) -> str:
@@ -94,11 +103,17 @@ class PhaseReport:
         admin = ""
         if self.drains or self.undrains:
             admin = f"; {self.drains} drains, {self.undrains} undrains"
+        traffic = ""
+        if self.traffic_packets:
+            traffic = (
+                f"; traffic {self.traffic_delivered}/{self.traffic_packets} "
+                f"delivered @ {self.traffic_pps:,.0f} pps"
+            )
         return (
             f"[{self.name}] {int(s['events'])} events: "
             f"{int(s['admitted'])} admitted, {int(s['modified'])} modified, "
             f"{int(s['evicted'])} evicted, {int(s['rejected'])} rejected; "
-            f"{latency}{admin}; "
+            f"{latency}{admin}{traffic}; "
             f"invariant {'OK' if self.ok else self.invariant_problems}"
         )
 
@@ -160,7 +175,11 @@ class ScenarioRunner:
     """Replays a compiled campaign against one fabric orchestrator."""
 
     def __init__(
-        self, fabric: FabricOrchestrator, check_invariants: bool = True
+        self,
+        fabric: FabricOrchestrator,
+        check_invariants: bool = True,
+        traffic_packets: int = 0,
+        traffic_seed: int = 0,
     ) -> None:
         self.fabric = fabric
         self.engine = FabricChurnEngine(fabric)
@@ -168,8 +187,48 @@ class ScenarioRunner:
         #: Switching it off skips the O(state) recompute for pure
         #: throughput measurements; digests are still recorded.
         self.check_invariants = check_invariants
+        #: Per-tenant packets injected at every phase boundary (0 = off).
+        #: Needs a fabric with the data plane; with fast-path engines
+        #: attached this is what drives campaign traffic through the
+        #: compiled kernels end to end.
+        self.traffic_packets = traffic_packets
+        self.traffic_seed = traffic_seed
+
+    def _run_traffic(self, phase: PhaseReport) -> None:
+        """Inject ``traffic_packets`` packets per live tenant through each
+        tenant's home shard pipeline (one batch per shard, so compiled
+        kernels see real multi-tenant batches), in deterministic order."""
+        if self.traffic_packets <= 0 or not self.fabric.with_dataplane:
+            return
+        from repro.traffic.flows import FlowGenerator
+
+        by_switch: dict[str, list[int]] = {}
+        for tenant_id in sorted(self.fabric.tenants):
+            record = self.fabric.tenants[tenant_id]
+            by_switch.setdefault(record.segments[0].switch, []).append(tenant_id)
+        sent = delivered = 0
+        start = time.perf_counter()
+        for switch in sorted(by_switch):
+            shard = self.fabric.shards[switch]
+            assert shard.pipeline is not None
+            batch = []
+            for tenant_id in by_switch[switch]:
+                gen = FlowGenerator(self.traffic_seed + tenant_id)
+                flows = gen.flows(4, tenant_id=tenant_id)
+                batch.extend(
+                    gen.packets(flows, self.traffic_packets, size_bytes=64)
+                )
+            results = shard.pipeline.process_batch(batch)
+            sent += len(results)
+            delivered += sum(r.delivered for r in results)
+        elapsed = time.perf_counter() - start
+        phase.traffic_packets = sent
+        phase.traffic_delivered = delivered
+        phase.traffic_pps = sent / elapsed if elapsed > 0 else 0.0
+        self.fabric.metrics.inc("scenario.traffic_packets", sent)
 
     def _close_phase(self, phase: PhaseReport) -> None:
+        self._run_traffic(phase)
         if self.check_invariants:
             phase.invariant_problems = self.fabric.check_invariant()
             if phase.invariant_problems:
@@ -237,13 +296,26 @@ def run_campaign(
     fsync: str = "batch",
     partitioner: str | None = None,
     check_invariants: bool = True,
+    fastpath: bool = False,
+    fastpath_backend: str = "auto",
+    traffic_packets: int = 0,
 ) -> tuple[FabricOrchestrator, CampaignReport]:
     """Compile ``spec``, build its fabric (journaling to ``wal_dir`` when
     given) and replay the campaign; returns the live fabric and the
-    report."""
+    report.
+
+    ``fastpath=True`` attaches a compiled fast-path engine to every shard
+    pipeline (implies the data plane); ``traffic_packets`` injects that
+    many packets per live tenant at each phase boundary, which is what
+    makes campaign phases exercise the compiled kernels end to end.
+    """
     campaign = compile_scenario(spec, seed)
     fabric = build_fabric(
-        spec, with_dataplane=with_dataplane, partitioner=partitioner
+        spec,
+        with_dataplane=with_dataplane or fastpath,
+        partitioner=partitioner,
+        fastpath=fastpath,
+        fastpath_backend=fastpath_backend,
     )
     durability = None
     if wal_dir is not None:
@@ -252,7 +324,9 @@ def run_campaign(
         durability = FabricDurability(wal_dir, fsync=fsync).attach(fabric)
     try:
         report = ScenarioRunner(
-            fabric, check_invariants=check_invariants
+            fabric,
+            check_invariants=check_invariants,
+            traffic_packets=traffic_packets,
         ).run(campaign)
     finally:
         if durability is not None:

@@ -209,6 +209,21 @@ class PostcardCollector:
                 and self.packets_seen % self.sample_every == 0
             )
 
+    def reserve(self, n: int) -> int:
+        """Reserve the next ``n`` packet-counter slots in one lock grab and
+        return the counter value *before* the reservation.
+
+        The compiled fast path samples whole batches up front: packet ``i``
+        of the batch is sampled iff ``sample_every > 0`` and
+        ``(base + i + 1) % sample_every == 0`` — exactly the sequence that
+        ``n`` consecutive :meth:`should_sample` calls would have produced,
+        at the cost of one mutex acquisition instead of ``n``.
+        """
+        with self._lock:
+            base = self.packets_seen
+            self.packets_seen += n
+            return base
+
     def record(self, card: PacketPostcard) -> None:
         """Retain one finished postcard and update the counters."""
         with self._lock:

@@ -1,0 +1,300 @@
+"""Differential tests: the compiled fast path vs the interpreter oracle.
+
+Every test builds the *same* workload twice — one pipeline left on the
+interpreter, one with a :class:`FastPathEngine` attached — pushes the same
+packets through both, and asserts bit-identity: every header field,
+``pass_id``/``recirculate``/``dropped``/``egress_port``, the modeled
+latency, per-table hit/miss counters, recirculation overflows, and (when
+sampling) the postcard stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.pipeline import SwitchPipeline
+from repro.dataplane.runtime_api import RuntimeAPI
+from repro.dataplane.table import (
+    MatchActionTable,
+    MatchField,
+    MatchKind,
+    TableEntry,
+)
+from repro.dataplane.virtualization import LogicalNF, LogicalSFC, SFCVirtualizer
+from repro.core.spec import SwitchSpec
+from repro.fastpath import HAS_NUMPY, FastPathEngine
+from repro.nfs import get_nf, install_physical_nf
+from repro.rng import make_rng
+from repro.telemetry import PostcardCollector
+from repro.traffic.flows import FlowGenerator
+
+CHAIN = ("firewall", "traffic_classifier", "load_balancer", "router")
+TENANTS = (1, 2, 3)
+
+BACKENDS = ["python"] + (["numpy"] if HAS_NUMPY else [])
+
+
+#: Broad low-priority rules guaranteeing hits (generated NF rules match
+#: narrow address slices, so random flows rarely hit them): the classifier
+#: catch-all is what carries REC when the chain folds, and the router one
+#: gives recirculated packets a deterministic egress.
+CATCH_ALLS = {
+    "traffic_classifier": TableEntry(
+        match={"src_ip": (0, 0), "dst_port": (0, 65535), "protocol": 6},
+        action="set_dscp", params={"dscp": 10}, priority=0,
+    ),
+    "router": TableEntry(
+        match={"dst_ip": (0, 0)}, action="forward", params={"port": 1},
+        priority=0,
+    ),
+}
+
+
+def build_pipeline(stages: int = 4, rules_per_nf: int = 24, seed: int = 7):
+    """``len(TENANTS)`` virtualized Fig. 4 chains.  With ``stages=4`` each
+    chain runs in one pass; with ``stages=2`` the §IV first-fit walk folds
+    it across two passes, so recirculation is exercised end to end."""
+    rng = make_rng(seed)
+    pipeline = SwitchPipeline(
+        spec=SwitchSpec(stages=stages, blocks_per_stage=64), max_passes=4
+    )
+    for i, name in enumerate(CHAIN):
+        install_physical_nf(pipeline, name, i % stages)
+    virtualizer = SFCVirtualizer(pipeline)
+    for tenant_id in TENANTS:
+        nfs = []
+        for name in CHAIN:
+            rules = list(get_nf(name).generate_rules(rng, rules_per_nf))
+            if name in CATCH_ALLS:
+                rules.append(CATCH_ALLS[name])
+            nfs.append(LogicalNF(nf_name=name, rules=tuple(rules)))
+        virtualizer.install_sfc(LogicalSFC(tenant_id=tenant_id, nfs=tuple(nfs)))
+    return pipeline
+
+
+def make_batch(num_per_tenant: int, seed: int = 3):
+    batch = []
+    for tenant_id in TENANTS:
+        gen = FlowGenerator(seed + tenant_id)
+        flows = gen.flows(8, tenant_id=tenant_id)
+        batch.extend(gen.packets(flows, num_per_tenant, size_bytes=64))
+    return batch
+
+
+def result_key(r):
+    p = r.packet
+    return (
+        p.tenant_id, p.src_ip, p.dst_ip, p.src_port, p.dst_port,
+        p.protocol, p.dscp, p.pass_id, p.recirculate, p.dropped,
+        p.egress_port, r.passes, r.latency_ns, p.scratch,
+    )
+
+
+def table_counters(pipeline):
+    return [
+        (t.name, t.hits, t.misses)
+        for s in pipeline.stages
+        for t in s.tables
+    ]
+
+
+def assert_identical(ref_pipeline, got_pipeline, ref_results, got_results):
+    assert len(ref_results) == len(got_results)
+    for a, b in zip(ref_results, got_results):
+        assert result_key(a) == result_key(b)
+    assert table_counters(ref_pipeline) == table_counters(got_pipeline)
+    assert (
+        ref_pipeline.recirculation_overflows
+        == got_pipeline.recirculation_overflows
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_single_pass_chains_bit_identical(backend):
+    """500+ packets (per the three tenants together, >170 each) through
+    the 4-stage single-pass layout."""
+    ref = build_pipeline(stages=4)
+    got = build_pipeline(stages=4)
+    engine = FastPathEngine.attach(got, backend=backend)
+    ref_results = ref.process_batch(make_batch(180))
+    got_results = got.process_batch(make_batch(180))
+    assert len(got_results) == 540
+    assert_identical(ref, got, ref_results, got_results)
+    assert engine.stats["compiled_packets"] == 540
+    assert engine.stats["interpreted_packets"] == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_folded_chains_recirculate_identically(backend):
+    """On a 2-stage pipeline the 4-NF chain folds across two passes; the
+    static recirculation plan must replay the interpreter exactly."""
+    ref = build_pipeline(stages=2)
+    got = build_pipeline(stages=2)
+    FastPathEngine.attach(got, backend=backend)
+    ref_results = ref.process_batch(make_batch(180))
+    got_results = got.process_batch(make_batch(180))
+    assert any(r.passes > 1 for r in ref_results), "workload never folded"
+    assert_identical(ref, got, ref_results, got_results)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_recirculation_overflow_counted_identically(backend):
+    """A rule that recirculates on every pass overflows the budget; the
+    kernels must freeze state and bump the counter like the interpreter."""
+
+    def build():
+        pl = SwitchPipeline(
+            spec=SwitchSpec(stages=1, blocks_per_stage=4), max_passes=3
+        )
+        t = MatchActionTable(
+            "spin",
+            key=[
+                MatchField("tenant_id", MatchKind.EXACT),
+                MatchField("dst_port", MatchKind.RANGE),
+            ],
+        )
+        t.insert(TableEntry(
+            match={"tenant_id": 1, "dst_port": (0, 40000)},
+            action="no_op", params={"rec": True},
+        ))
+        pl.stage(0).install_table(t)
+        return pl
+
+    ref, got = build(), build()
+    FastPathEngine.attach(got, backend=backend)
+    gen = FlowGenerator(5)
+    flows = gen.flows(8, tenant_id=1)
+    ref_results = ref.process_batch(gen.packets(flows, 64, size_bytes=64))
+    gen = FlowGenerator(5)
+    flows = gen.flows(8, tenant_id=1)
+    got_results = got.process_batch(gen.packets(flows, 64, size_bytes=64))
+    assert ref.recirculation_overflows > 0
+    assert_identical(ref, got, ref_results, got_results)
+    assert all(
+        r.passes == 3 for r in got_results if r.packet.dst_port <= 40000
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_rule_churn_between_batches_stays_identical(backend):
+    """Admit-style churn through RuntimeAPI between batches: the engine
+    must invalidate exactly the written tenant and keep matching the
+    oracle afterwards."""
+    ref = build_pipeline(stages=4)
+    got = build_pipeline(stages=4)
+    engine = FastPathEngine.attach(got, backend=backend)
+
+    assert_identical(
+        ref, got,
+        ref.process_batch(make_batch(64)),
+        got.process_batch(make_batch(64)),
+    )
+    cached_before = engine.cached_plans
+    assert cached_before == len(TENANTS)
+
+    # Flip one tenant-1 firewall rule to a drop via both RuntimeAPIs.
+    for pipeline in (ref, got):
+        api = RuntimeAPI(pipeline)
+        entries = [
+            e for e in api.read_entries("firewall@s0")
+            if e.match.get("tenant_id") == 1
+        ]
+        victim = entries[0]
+        replacement = TableEntry(
+            match=victim.match, action="drop", params={},
+            priority=victim.priority,
+        )
+        assert api.modify("firewall@s0", victim, replacement).ok
+
+    compiles_before = engine.stats["compiles"]
+    assert_identical(
+        ref, got,
+        ref.process_batch(make_batch(64, seed=11)),
+        got.process_batch(make_batch(64, seed=11)),
+    )
+    # Only tenant 1 recompiled; tenants 2 and 3 kept their plans.
+    assert engine.stats["compiles"] == compiles_before + 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_postcards_bit_identical_under_sampling(backend):
+    """1-in-N sampled postcards out of the fast path must be the exact
+    cards (and counters) the pure interpreter would emit."""
+    ref = build_pipeline(stages=2)
+    got = build_pipeline(stages=2)
+    ref.telemetry = PostcardCollector(sample_every=7, capacity=4096)
+    got.telemetry = PostcardCollector(sample_every=7, capacity=4096)
+    engine = FastPathEngine.attach(got, backend=backend)
+
+    for seed in (3, 9):  # two batches: the counter must carry across
+        ref_results = ref.process_batch(make_batch(70, seed=seed))
+        got_results = got.process_batch(make_batch(70, seed=seed))
+        assert_identical(ref, got, ref_results, got_results)
+
+    assert ref.telemetry.snapshot() == got.telemetry.snapshot()
+    ref_cards = [c.to_dict() for c in ref.telemetry.cards]
+    got_cards = [c.to_dict() for c in got.telemetry.cards]
+    assert ref_cards == got_cards
+    assert got.telemetry.postcards_sampled > 0
+    # Sampled packets really did take the oracle.
+    assert engine.stats["interpreted_packets"] == got.telemetry.postcards_sampled
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_trace_requests_route_to_interpreter(backend):
+    """``trace=True`` batches must produce interpreter postcards."""
+    ref = build_pipeline(stages=2)
+    got = build_pipeline(stages=2)
+    FastPathEngine.attach(got, backend=backend)
+    ref_results = ref.process_batch(make_batch(8), trace=True)
+    got_results = got.process_batch(make_batch(8), trace=True)
+    assert_identical(ref, got, ref_results, got_results)
+    for a, b in zip(ref_results, got_results):
+        assert a.postcard is not None and b.postcard is not None
+        assert a.postcard.to_dict() == b.postcard.to_dict()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_scalar_state_actions_stay_identical(backend):
+    """``count``/``rate_limit`` mutate per-packet scratch state (token
+    buckets, counters) and can drop or recirculate; the kernels call the
+    real registered functions, so scratch, drops and REC must all match
+    the oracle exactly (``result_key`` includes ``scratch``)."""
+
+    def build():
+        pl = SwitchPipeline(
+            spec=SwitchSpec(stages=1, blocks_per_stage=4), max_passes=4
+        )
+        t = MatchActionTable(
+            "limiter",
+            key=[
+                MatchField("tenant_id", MatchKind.EXACT),
+                MatchField("dst_port", MatchKind.RANGE),
+            ],
+        )
+        # Recirculates while charging a 2-token bucket: pass 3 finds the
+        # bucket empty and drops mid-flight.
+        t.insert(TableEntry(
+            match={"tenant_id": 1, "dst_port": (101, 65535)},
+            action="rate_limit", params={"burst": 2, "rec": True},
+        ))
+        t.insert(TableEntry(
+            match={"tenant_id": 1, "dst_port": (0, 100)},
+            action="count", params={"counter": "lo_ports"},
+        ))
+        pl.stage(0).install_table(t)
+        return pl
+
+    ref, got = build(), build()
+    FastPathEngine.attach(got, backend=backend)
+    gen = FlowGenerator(4)
+    flows = gen.flows(16, tenant_id=1)
+    ref_results = ref.process_batch(gen.packets(flows, 200, size_bytes=64))
+    gen = FlowGenerator(4)
+    flows = gen.flows(16, tenant_id=1)
+    got_results = got.process_batch(gen.packets(flows, 200, size_bytes=64))
+    assert any(r.packet.dropped for r in ref_results), "limiter never fired"
+    assert any(
+        r.packet.scratch.get("_counters") for r in ref_results
+    ), "counter never fired"
+    assert_identical(ref, got, ref_results, got_results)

@@ -1,0 +1,247 @@
+"""Unit tests for the chain compiler: folding, filtering, ranking,
+predicate normalization, and uncompilable classification."""
+
+from __future__ import annotations
+
+from repro.core.spec import SwitchSpec
+from repro.dataplane.pipeline import SwitchPipeline
+from repro.dataplane.table import (
+    MatchActionTable,
+    MatchField,
+    MatchKind,
+    TableEntry,
+)
+from repro.fastpath.compiler import (
+    CompiledEntry,
+    FoldedStep,
+    MatchStep,
+    compile_chain,
+)
+
+
+def make_pipeline(*tables, max_passes=2):
+    pipeline = SwitchPipeline(
+        spec=SwitchSpec(stages=1, blocks_per_stage=8), max_passes=max_passes
+    )
+    for t in tables:
+        pipeline.stage(0).install_table(t)
+    return pipeline
+
+
+def map_table(name="tenant_map", entries=()):
+    t = MatchActionTable(
+        name,
+        key=[
+            MatchField("tenant_id", MatchKind.EXACT),
+            MatchField("pass_id", MatchKind.EXACT),
+        ],
+    )
+    for e in entries:
+        t.insert(e)
+    return t
+
+
+def acl_table(name="acl", entries=()):
+    t = MatchActionTable(
+        name,
+        key=[
+            MatchField("tenant_id", MatchKind.EXACT),
+            MatchField("dst_ip", MatchKind.LPM),
+            MatchField("dst_port", MatchKind.RANGE),
+        ],
+    )
+    for e in entries:
+        t.insert(e)
+    return t
+
+
+def test_const_key_table_folds_to_one_winner():
+    t = map_table(entries=[
+        TableEntry(match={"tenant_id": 5, "pass_id": 1},
+                   action="set_dscp", params={"dscp": 9}),
+        TableEntry(match={"tenant_id": 6, "pass_id": 1},
+                   action="drop", params={}),
+    ])
+    plan = compile_chain(make_pipeline(t), 5)
+    assert plan.fallback_reason is None
+    step = plan.passes[0][0]
+    assert isinstance(step, FoldedStep)
+    assert step.hit and step.binding.action == "set_dscp"
+    assert step.binding.writes == (("dscp", 9),)
+    # Pass 2 has no matching map entry: a uniform miss on the default.
+    step2 = plan.passes[1][0]
+    assert isinstance(step2, FoldedStep)
+    assert not step2.hit
+
+
+def test_fold_probe_does_not_touch_counters():
+    t = map_table(entries=[
+        TableEntry(match={"tenant_id": 5, "pass_id": 1},
+                   action="permit", params={}),
+    ])
+    compile_chain(make_pipeline(t), 5)
+    assert t.hits == 0 and t.misses == 0
+
+
+def test_other_tenants_filtered_and_const_preds_dropped():
+    mine = TableEntry(
+        match={"tenant_id": 1, "dst_ip": (0x0A000000, 8),
+               "dst_port": (0, 1024)},
+        action="permit", params={},
+    )
+    other = TableEntry(
+        match={"tenant_id": 2, "dst_ip": (0x0A000000, 8),
+               "dst_port": (0, 1024)},
+        action="drop", params={},
+    )
+    plan = compile_chain(make_pipeline(acl_table(entries=[mine, other])), 1)
+    step = plan.passes[0][0]
+    assert isinstance(step, MatchStep)
+    assert len(step.entries) == 1
+    preds = step.entries[0].preds
+    # tenant_id folded away; LPM + RANGE normalized.
+    assert ("mask", "dst_ip", 0xFF000000, 0x0A000000) in preds
+    assert ("range", "dst_port", 0, 1024) in preds
+    assert not any(p[1] == "tenant_id" for p in preds)
+
+
+def test_constant_filtering_to_empty_becomes_uniform_miss():
+    only_other = TableEntry(
+        match={"tenant_id": 2, "dst_ip": (0, 0), "dst_port": (0, 65535)},
+        action="drop", params={},
+    )
+    plan = compile_chain(make_pipeline(acl_table(entries=[only_other])), 1)
+    step = plan.passes[0][0]
+    assert isinstance(step, FoldedStep)
+    assert not step.hit and step.binding.action == "no_op"
+
+
+def test_entries_ranked_priority_then_specificity_then_order():
+    def entry(prio, length, dscp):
+        return TableEntry(
+            match={"tenant_id": 1, "dst_ip": (0x0A000000, length),
+                   "dst_port": (0, 65535)},
+            action="set_dscp", params={"dscp": dscp}, priority=prio,
+        )
+
+    # Insert deliberately out of rank order.
+    t = acl_table(entries=[entry(1, 8, 0), entry(5, 8, 1),
+                           entry(5, 24, 2), entry(5, 24, 3)])
+    plan = compile_chain(make_pipeline(t), 1)
+    step = plan.passes[0][0]
+    dscps = [ce.binding.writes[0][1] for ce in step.entries]
+    # priority 5 before 1; /24 before /8; equal rank by insertion order.
+    assert dscps == [2, 3, 1, 0]
+
+
+def test_wildcards_normalize_away():
+    e = TableEntry(
+        match={"tenant_id": 1, "dst_ip": (0, 0), "dst_port": (0, 9)},
+        action="permit", params={},
+    )
+    plan = compile_chain(make_pipeline(acl_table(entries=[e])), 1)
+    step = plan.passes[0][0]
+    assert step.entries[0].preds == (("range", "dst_port", 0, 9),)
+
+
+def test_folded_set_tenant_rewrites_group_constant():
+    mapping = map_table(entries=[
+        TableEntry(match={"tenant_id": 7, "pass_id": 1},
+                   action="set_tenant", params={"wire_id": 1007}),
+    ])
+    downstream = acl_table(entries=[
+        TableEntry(match={"tenant_id": 1007, "dst_ip": (0, 0),
+                          "dst_port": (0, 65535)},
+                   action="permit", params={}),
+    ])
+    plan = compile_chain(make_pipeline(mapping, downstream), 7)
+    assert plan.fallback_reason is None
+    assert plan.consts == frozenset({7, 1007})
+    # The downstream table filtered on the *wire* ID and kept the entry.
+    step = plan.passes[0][1]
+    assert isinstance(step, MatchStep) and len(step.entries) == 1
+
+
+def test_set_tenant_in_match_step_is_uncompilable():
+    t = acl_table(entries=[
+        TableEntry(match={"tenant_id": 1, "dst_ip": (0x0A000000, 24),
+                          "dst_port": (0, 65535)},
+                   action="set_tenant", params={"wire_id": 9}),
+    ])
+    plan = compile_chain(make_pipeline(t), 1)
+    assert plan.fallback_reason is not None
+    assert "set_tenant" in plan.fallback_reason
+    assert plan.passes == []
+
+
+def test_meter_police_is_uncompilable():
+    from repro.dataplane.registers import MeterArray
+
+    t = acl_table(entries=[
+        TableEntry(match={"tenant_id": 1, "dst_ip": (0, 0),
+                          "dst_port": (0, 65535)},
+                   action="meter_police",
+                   params={"meter": MeterArray("m", 4, 1000)}),
+    ])
+    plan = compile_chain(make_pipeline(t), 1)
+    assert plan.fallback_reason is not None
+
+
+def test_overridden_action_is_uncompilable():
+    pipeline = make_pipeline(acl_table(entries=[
+        TableEntry(match={"tenant_id": 1, "dst_ip": (0, 0),
+                          "dst_port": (0, 65535)},
+                   action="permit2", params={}),
+    ]))
+    # A user-registered action can do anything: never compile it.
+    pipeline.actions.register("permit2", lambda packet, params: None)
+    plan = compile_chain(pipeline, 1)
+    assert plan.fallback_reason is not None
+    assert "permit2" in plan.fallback_reason
+
+
+def test_unknown_action_is_uncompilable_not_crash():
+    t = acl_table(entries=[
+        TableEntry(match={"tenant_id": 1, "dst_ip": (0, 0),
+                          "dst_port": (0, 65535)},
+                   action="warp_drive", params={}),
+    ])
+    plan = compile_chain(make_pipeline(t), 1)
+    assert plan.fallback_reason is not None
+    assert "warp_drive" in plan.fallback_reason
+
+
+def test_scalar_actions_keep_the_real_function():
+    from repro.dataplane import action as act
+
+    t = acl_table(entries=[
+        TableEntry(match={"tenant_id": 1, "dst_ip": (0, 0),
+                          "dst_port": (0, 65535)},
+                   action="count", params={"counter": "c"}),
+    ])
+    plan = compile_chain(make_pipeline(t), 1)
+    step = plan.passes[0][0]
+    binding = step.entries[0].binding
+    assert binding.kind == "scalar"
+    assert binding.fn is act.act_count
+    assert binding.params == {"counter": "c"}
+
+
+def test_plan_records_invalidation_keys():
+    t = acl_table()
+    pipeline = make_pipeline(t)
+    plan = compile_chain(pipeline, 1)
+    assert plan.structure_gen == pipeline.structure_generation
+    assert plan.is_current(pipeline)
+    t.insert(TableEntry(
+        match={"tenant_id": 1, "dst_ip": (0, 0), "dst_port": (0, 65535)},
+        action="permit", params={},
+    ))
+    assert not plan.is_current(pipeline)  # generation moved
+
+
+def test_plan_tracks_structure_generation():
+    pipeline = make_pipeline(acl_table())
+    plan = compile_chain(pipeline, 1)
+    pipeline.stage(0).install_table(map_table("late_map"))
+    assert not plan.is_current(pipeline)
