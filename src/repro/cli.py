@@ -685,6 +685,86 @@ def _cmd_ha(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown ha action {args.action}")  # pragma: no cover
 
 
+def _cmd_reoptimize(args: argparse.Namespace) -> int:
+    if args.url:
+        # Drive a running frontend: POST /v1/reoptimize and print its
+        # summary (the pass executes inside the server process).
+        from repro.frontend import HttpFrontendClient
+
+        options: dict = {
+            "mode": args.mode,
+            "min_benefit": args.min_benefit,
+            "execute": not args.dry_run,
+        }
+        if args.max_moves is not None:
+            options["max_moves"] = args.max_moves
+        summary = HttpFrontendClient(args.url).reoptimize(**options)
+        for key in sorted(summary):
+            print(f"  {key:>20}: {summary[key]}")
+        return 0 if summary.get("ok") else 1
+
+    # Local demo: fragment a deliberately tight fabric with churn, then
+    # run one re-optimization pass over the survivors.
+    from dataclasses import replace
+
+    from repro.controller import ChurnConfig, synthesize_churn
+    from repro.core.spec import SwitchSpec
+    from repro.experiments.config import PAPER_WORKLOAD
+    from repro.fabric import (
+        FabricChurnEngine,
+        FabricOrchestrator,
+        FabricTopology,
+        make_partitioner,
+    )
+
+    spec = SwitchSpec(
+        stages=4, blocks_per_stage=8, block_bits=6400, rule_bits=64,
+        capacity_gbps=40.0,
+    )
+    topology = FabricTopology.full_mesh(
+        args.switches, spec=spec, link_capacity_gbps=100.0,
+        max_recirculations=1,
+    )
+    fabric = FabricOrchestrator(
+        topology,
+        num_types=6,
+        partitioner=make_partitioner(args.partitioner),
+        with_dataplane=not args.no_dataplane,
+    )
+    config = ChurnConfig(
+        duration_s=(5.0 if args.quick else args.duration),
+        arrival_rate_per_s=12.0,
+        mean_lifetime_s=6.0,
+        modify_fraction=0.25,
+        workload=replace(
+            PAPER_WORKLOAD, num_sfcs=0, num_types=6, avg_chain_length=3,
+            chain_length_spread=2, rules_min=1, rules_max=4,
+            mean_bandwidth_gbps=1.0, max_bandwidth_gbps=4.0,
+        ),
+    )
+    events = synthesize_churn(config, rng=args.seed)
+    FabricChurnEngine(fabric).replay(events)
+    before = fabric.summary()
+    print(f"after churn: {before['tenants']} tenants live, "
+          f"{before['stitched_tenants']} stitched across switches")
+    report = fabric.reoptimize(
+        mode=args.mode,
+        min_benefit=args.min_benefit,
+        max_moves=args.max_moves,
+        execute=not args.dry_run,
+    )
+    print(report.describe())
+    for note in report.notes:
+        print(f"  note: {note}")
+    if report.migration is not None:
+        for step in report.migration.results:
+            print(f"  tenant {step.tenant_id}: {step.action}"
+                  f"{' (' + step.reason + ')' if step.reason else ''}")
+    problems = fabric.check_invariant()
+    print(f"fabric invariant: {'OK' if not problems else problems}")
+    return 0 if report.ok and not problems else 1
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.experiments.fig4_throughput import build_demo_pipeline
     from repro.traffic.flows import FlowGenerator
@@ -1096,6 +1176,53 @@ def main(argv: list[str] | None = None) -> int:
         help="standby: after serving, wait out the lease and take over",
     )
     p.set_defaults(func=_cmd_ha)
+
+    p = sub.add_parser(
+        "reoptimize",
+        help="fleet-wide re-optimization: re-solve tenant placement and "
+             "hitlessly migrate the wins (local demo, or --url to drive a "
+             "running frontend)",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--url", default=None, metavar="URL",
+        help="POST /v1/reoptimize to a running `sfp serve` frontend "
+             "instead of running the local demo",
+    )
+    p.add_argument(
+        "--mode", choices=("auto", "ilp", "greedy"), default="auto",
+        help="solver mode (auto = ILP for small fleets, greedy at scale)",
+    )
+    p.add_argument(
+        "--min-benefit", type=float, default=0.5,
+        help="cost/benefit gate: skip moves scoring below this",
+    )
+    p.add_argument(
+        "--max-moves", type=int, default=None,
+        help="cap the number of executed migrations",
+    )
+    p.add_argument(
+        "--dry-run", action="store_true",
+        help="solve and plan only; migrate nothing",
+    )
+    p.add_argument(
+        "--switches", type=int, default=3,
+        help="local demo: number of fabric switches",
+    )
+    p.add_argument(
+        "--duration", type=float, default=20.0,
+        help="local demo: churn horizon used to fragment the fabric (s)",
+    )
+    p.add_argument(
+        "--partitioner",
+        choices=("hash", "least-backplane", "modulo"), default="hash",
+        help="local demo: tenant->switch routing strategy",
+    )
+    p.add_argument(
+        "--no-dataplane", action="store_true",
+        help="local demo: control-plane only (skips migration probes)",
+    )
+    p.set_defaults(func=_cmd_reoptimize)
 
     p = sub.add_parser("demo", help="trace a packet through a virtualized chain")
     _add_common(p)

@@ -220,6 +220,10 @@ def apply_fabric_record(
             )
     elif op == "undrain":
         fabric.undrain(data["switch"])
+    elif op == "reopt_step":
+        from repro.globalopt.migrate import apply_recorded_step
+
+        problems.extend(apply_recorded_step(fabric, record))
     else:
         problems.append(f"lsn {record.lsn}: unknown fabric op {op!r}")
         return problems

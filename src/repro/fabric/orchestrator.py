@@ -236,6 +236,9 @@ class FabricOrchestrator:
         #: Fencing token of the lease reign this fabric serves under
         #: (0 = HA not in play; see :mod:`repro.ha.lease`).
         self.epoch = 0
+        #: Lifecycle-op count at the last global re-optimization pass —
+        #: :meth:`maybe_reoptimize` gates its cadence on the drift since.
+        self._last_reopt_ops = 0
 
     # ------------------------------------------------------------------
     # Views
@@ -304,6 +307,7 @@ class FabricOrchestrator:
             }
             for a, b in sorted(self.links)
         }
+        counters = self.metrics.snapshot()["counters"]
         return {
             "switches": switches,
             "links": links,
@@ -311,6 +315,21 @@ class FabricOrchestrator:
             "stitched_tenants": sum(
                 1 for rec in self.tenants.values() if rec.stitched
             ),
+            "globalopt": {
+                "runs": int(counters.get("globalopt.runs", 0)),
+                "moves_planned": int(
+                    counters.get("globalopt.moves_planned", 0)
+                ),
+                "moves_executed": int(
+                    counters.get("globalopt.moves_executed", 0)
+                ),
+                "moves_skipped": int(
+                    counters.get("globalopt.moves_skipped", 0)
+                ),
+                "moves_failed": int(
+                    counters.get("globalopt.moves_failed", 0)
+                ),
+            },
         }
 
     # ------------------------------------------------------------------
@@ -762,6 +781,45 @@ class FabricOrchestrator:
         with self._fabric_locked():
             self.drained.discard(switch)
             self._commit_durable("undrain", {"switch": switch})
+
+    # ------------------------------------------------------------------
+    # Global re-optimization (see :mod:`repro.globalopt`)
+    # ------------------------------------------------------------------
+    def reoptimize(self, **kwargs):
+        """Run one fleet-wide re-optimization pass: snapshot the fabric,
+        re-solve the tenant->switch assignment, and hitlessly migrate the
+        wins.  Thin wrapper over :func:`repro.globalopt.reoptimize_fabric`
+        (kwargs pass through); returns its :class:`~repro.globalopt.
+        ReoptReport`."""
+        from repro.globalopt import reoptimize_fabric
+
+        return reoptimize_fabric(self, **kwargs)
+
+    def maybe_reoptimize(
+        self,
+        min_stitched: int = 2,
+        min_interval_ops: int = 200,
+        **kwargs,
+    ):
+        """Drift-gated cadence: run :meth:`reoptimize` only when the fleet
+        looks fragmented (at least ``min_stitched`` stitched tenants) and
+        enough lifecycle churn (``min_interval_ops`` admits/evicts/
+        modifies) has passed since the last pass.  Returns the report, or
+        ``None`` when the gate holds."""
+        counters = self.metrics.snapshot()["counters"]
+        ops = (
+            int(counters.get("admitted", 0))
+            + int(counters.get("evicted", 0))
+            + int(counters.get("modified", 0))
+        )
+        if ops - self._last_reopt_ops < min_interval_ops:
+            return None
+        with self._dir_lock:
+            stitched = sum(1 for r in self.tenants.values() if r.stitched)
+        if stitched < min_stitched:
+            self._last_reopt_ops = ops
+            return None
+        return self.reoptimize(**kwargs)
 
     # ------------------------------------------------------------------
     # Single-shard fast paths (the concurrent front end's entry points)

@@ -131,6 +131,11 @@ class HttpFrontendClient:
         """POST an undrain of ``switch``."""
         return self._request("POST", f"/v1/switches/{switch}/undrain")
 
+    def reoptimize(self, **options) -> dict:
+        """POST a fleet-wide re-optimization pass (options: ``mode``,
+        ``min_benefit``, ``max_moves``, ``execute``); returns its summary."""
+        return self._request("POST", "/v1/reoptimize", options or {})
+
     def health(self) -> dict:
         """GET liveness + queue depth."""
         return self._request("GET", "/healthz")

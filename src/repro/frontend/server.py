@@ -13,6 +13,7 @@ DELETE ``/v1/tenants/<id>``             evict
 PUT    ``/v1/tenants/<id>``             modify (body: ``{"sfc": {...}}``)
 POST   ``/v1/switches/<name>/drain``    drain a switch
 POST   ``/v1/switches/<name>/undrain``  return a switch to routing
+POST   ``/v1/reoptimize``               fleet-wide re-optimization pass
 GET    ``/healthz``                     liveness + HA role/epoch + queue depth
 GET    ``/v1/summary``                  fabric occupancy summary (+ HA block)
 GET    ``/v1/queue``                    queue + worker-pool snapshot
@@ -194,8 +195,39 @@ class _Handler(BaseHTTPRequestHandler):
             and parts[3] in ("drain", "undrain")
         ):
             self._run_intent(Intent(kind=parts[3], switch=parts[2]))
+        elif parts == ["v1", "reoptimize"]:
+            self._reoptimize(self._body())
         else:
             self._send(404, {"error": f"no route POST /{'/'.join(parts)}"})
+
+    def _reoptimize(self, body: dict) -> None:
+        """Run one global re-optimization pass and reply with its summary.
+        Cross-shard by construction, so it bypasses the per-shard intent
+        queue and executes directly under the fabric-wide lock order (the
+        same role gate as writes applies: standbys refuse)."""
+        frontend = self.frontend
+        if getattr(frontend.fabric, "role", "primary") != "primary":
+            self._send_not_primary(
+                "this node is a standby; writes go to the primary"
+            )
+            return
+        mode = body.get("mode", "auto")
+        if mode not in ("auto", "ilp", "greedy"):
+            raise FrontendError(f"bad reoptimize mode {mode!r}")
+        try:
+            min_benefit = float(body.get("min_benefit", 0.5))
+            max_moves = (
+                int(body["max_moves"]) if "max_moves" in body else None
+            )
+        except (TypeError, ValueError) as exc:
+            raise FrontendError(f"bad reoptimize body: {exc}") from None
+        report = frontend.fabric.reoptimize(
+            mode=mode,
+            min_benefit=min_benefit,
+            max_moves=max_moves,
+            execute=bool(body.get("execute", True)),
+        )
+        self._send(200, {"ok": report.ok, **report.summary()})
 
     def _put(self, parts: list[str]) -> None:
         if len(parts) == 3 and parts[:2] == ["v1", "tenants"]:

@@ -33,8 +33,13 @@ from repro.traffic.workload import make_sfcs
 CAMPAIGN_TRACE_VERSION = 1
 
 #: Event kinds, in same-timestamp replay order: the phase marker first,
-#: then administrative undrain/drain, then tenant lifecycle.
-EVENT_KINDS = ("phase", "undrain", "drain", "departure", "modify", "arrival")
+#: then administrative undrain/drain, then tenant lifecycle, then the
+#: global ``reoptimize`` pass (appended last so pre-existing traces keep
+#: their byte-identical ordering; a re-optimization sees the instant's
+#: churn already applied).
+EVENT_KINDS = (
+    "phase", "undrain", "drain", "departure", "modify", "arrival", "reoptimize"
+)
 
 _KIND_RANK = {kind: rank for rank, kind in enumerate(EVENT_KINDS)}
 
@@ -49,8 +54,9 @@ class ScenarioEvent:
     Lifecycle kinds (``arrival``/``departure``/``modify``) carry a
     ``tenant_id`` (and an ``sfc`` for arrivals/modifies) and convert to
     :class:`~repro.controller.events.ChurnEvent` via :meth:`to_churn_event`;
-    administrative kinds (``drain``/``undrain``) carry a ``switch``; the
-    ``phase`` marker opens each phase.  ``seq`` makes replay order total.
+    administrative kinds (``drain``/``undrain``) carry a ``switch`` while
+    ``reoptimize`` triggers a fabric-wide pass; the ``phase`` marker opens
+    each phase.  ``seq`` makes replay order total.
     """
 
     time_s: float

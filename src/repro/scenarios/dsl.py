@@ -36,7 +36,7 @@ except ImportError:  # pragma: no cover
 CURVE_KINDS = ("constant", "ramp", "sine", "spike")
 
 #: Administrative actions a fault schedule may request.
-FAULT_KINDS = ("drain", "undrain")
+FAULT_KINDS = ("drain", "undrain", "reoptimize")
 
 #: Topology builders a spec may name.
 TOPOLOGY_KINDS = ("full_mesh", "ring")
@@ -133,11 +133,13 @@ class LoadCurve:
 @dataclass(frozen=True)
 class FaultAction:
     """One scheduled administrative event inside a phase: ``drain`` or
-    ``undrain`` of a named switch at ``at_s`` seconds after phase start."""
+    ``undrain`` of a named switch at ``at_s`` seconds after phase start, or
+    a fabric-wide ``reoptimize`` pass (no target switch required — any
+    named switch is accepted and ignored)."""
 
     at_s: float
     kind: str
-    switch: str
+    switch: str = ""
 
     def __post_init__(self) -> None:
         if self.at_s < 0:
@@ -146,7 +148,7 @@ class FaultAction:
             raise ScenarioError(
                 f"unknown fault kind {self.kind!r}; choices: {FAULT_KINDS}"
             )
-        if not self.switch:
+        if self.kind != "reoptimize" and not self.switch:
             raise ScenarioError("fault needs a switch name")
 
     def to_dict(self) -> dict:
@@ -157,7 +159,9 @@ class FaultAction:
     def from_dict(cls, record: dict) -> "FaultAction":
         """Inverse of :meth:`to_dict`."""
         return cls(
-            at_s=record["at_s"], kind=record["kind"], switch=record["switch"]
+            at_s=record["at_s"],
+            kind=record["kind"],
+            switch=record.get("switch", ""),
         )
 
 
@@ -372,7 +376,7 @@ class ScenarioSpec:
         valid = set(self.topology.switch_names)
         for phase in self.phases:
             for action in phase.faults:
-                if action.switch not in valid:
+                if action.switch and action.switch not in valid:
                     raise ScenarioError(
                         f"scenario {self.name!r}, phase {phase.name!r}: fault "
                         f"targets unknown switch {action.switch!r}"

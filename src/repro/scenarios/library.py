@@ -1,6 +1,6 @@
 """The production-shaped campaign library.
 
-Seven seeded campaigns, each a :class:`~repro.scenarios.dsl.ScenarioSpec`
+Eight seeded campaigns, each a :class:`~repro.scenarios.dsl.ScenarioSpec`
 over a small, deliberately tight 4-switch fabric (low per-stage SRAM and
 backplane so churn actually produces spillover, stitching and rejections):
 
@@ -17,6 +17,9 @@ backplane so churn actually produces spillover, stitching and rejections):
   at a 90% modify mix while the rest of the fleet runs normally.
 * ``burst-modify`` — synchronized modify storms: half the live tenants
   re-negotiate at three scheduled instants.
+* ``defrag-cadence`` — the fragmentation drill: long-lived heavy chains
+  interleave with a short-lived exodus, then scheduled ``reoptimize``
+  passes defragment the fleet under continued churn.
 
 Every campaign is registered in :data:`CAMPAIGNS` under its name; the
 acceptance suite replays each one and asserts the fabric bit-identity
@@ -334,6 +337,61 @@ def _burst_modify() -> ScenarioSpec:
     )
 
 
+def _defrag_cadence() -> ScenarioSpec:
+    """The fragmentation drill: heavy-rule, heavy-bandwidth tenants fill
+    the fleet past comfort, a short-lived exodus leaves holes everywhere,
+    then refill churn runs with scheduled fabric-wide ``reoptimize``
+    passes consolidating the survivors between waves."""
+    heavy = replace(
+        CAMPAIGN_WORKLOAD,
+        rules_min=2,
+        rules_max=8,
+        mean_bandwidth_gbps=2.0,
+        max_bandwidth_gbps=6.0,
+    )
+    return ScenarioSpec(
+        name="defrag-cadence",
+        description="fragmenting churn with periodic global re-optimization",
+        seed=1108,
+        topology=CAMPAIGN_TOPOLOGY,
+        workload=heavy,
+        phases=(
+            PhaseSpec(
+                name="pressure",
+                duration_s=25.0,
+                load=LoadCurve(kind="constant", rate_per_s=12.0),
+                mean_lifetime_s=18.0,
+                modify_fraction=0.2,
+            ),
+            PhaseSpec(
+                name="exodus",
+                duration_s=20.0,
+                load=LoadCurve(kind="constant", rate_per_s=2.0),
+                mean_lifetime_s=4.0,
+                faults=(FaultAction(at_s=10.0, kind="reoptimize"),),
+            ),
+            PhaseSpec(
+                name="refill",
+                duration_s=30.0,
+                load=LoadCurve(kind="constant", rate_per_s=8.0),
+                mean_lifetime_s=10.0,
+                modify_fraction=0.15,
+                faults=(
+                    FaultAction(at_s=10.0, kind="reoptimize"),
+                    FaultAction(at_s=20.0, kind="reoptimize"),
+                ),
+            ),
+            PhaseSpec(
+                name="settle",
+                duration_s=15.0,
+                load=LoadCurve(kind="constant", rate_per_s=3.0),
+                mean_lifetime_s=6.0,
+                faults=(FaultAction(at_s=8.0, kind="reoptimize"),),
+            ),
+        ),
+    )
+
+
 #: Name -> zero-argument factory for every library campaign.
 CAMPAIGNS = {
     "steady-state": _steady_state,
@@ -343,6 +401,7 @@ CAMPAIGNS = {
     "rolling-upgrade": _rolling_upgrade,
     "noisy-neighbor": _noisy_neighbor,
     "burst-modify": _burst_modify,
+    "defrag-cadence": _defrag_cadence,
 }
 
 

@@ -4,7 +4,9 @@
 FabricOrchestrator` with a compiled campaign stream: lifecycle events go
 through the normal :class:`~repro.fabric.engine.FabricChurnEngine` dispatch
 (admit / evict / modify), ``drain``/``undrain`` events call the fabric's
-failover API, and every ``phase`` marker closes the previous phase with a
+failover API, ``reoptimize`` events run a fabric-wide global
+re-optimization pass (hitless migration included), and every ``phase``
+marker closes the previous phase with a
 **bit-identity audit** — :meth:`FabricOrchestrator.check_invariant` plus
 the fabric digest — so each campaign asserts the paper-critical invariant
 at every phase boundary, not just at the end.
@@ -63,6 +65,9 @@ class PhaseReport:
     churn: ChurnReport = field(default_factory=ChurnReport)
     drains: int = 0
     undrains: int = 0
+    reoptimizes: int = 0
+    #: Migration moves executed by this phase's reoptimize passes.
+    reopt_moves: int = 0
     invariant_problems: list[str] = field(default_factory=list)
     digest: str = ""
     #: Phase-boundary traffic probe (0 packets when the runner has traffic
@@ -83,6 +88,8 @@ class PhaseReport:
         out = dict(self.churn.summary())
         out["drains"] = float(self.drains)
         out["undrains"] = float(self.undrains)
+        out["reoptimizes"] = float(self.reoptimizes)
+        out["reopt_moves"] = float(self.reopt_moves)
         out["invariant_ok"] = self.ok
         if self.traffic_packets:
             out["traffic_packets"] = float(self.traffic_packets)
@@ -103,6 +110,11 @@ class PhaseReport:
         admin = ""
         if self.drains or self.undrains:
             admin = f"; {self.drains} drains, {self.undrains} undrains"
+        if self.reoptimizes:
+            admin += (
+                f"; {self.reoptimizes} reoptimizes "
+                f"({self.reopt_moves} moves)"
+            )
         traffic = ""
         if self.traffic_packets:
             traffic = (
@@ -149,6 +161,8 @@ class CampaignReport:
         )
         out["drains"] = float(sum(p.drains for p in self.phases))
         out["undrains"] = float(sum(p.undrains for p in self.phases))
+        out["reoptimizes"] = float(sum(p.reoptimizes for p in self.phases))
+        out["reopt_moves"] = float(sum(p.reopt_moves for p in self.phases))
         out["invariant_ok"] = self.ok
         out["phases"] = [
             {"name": p.name, **p.summary()} for p in self.phases
@@ -272,6 +286,12 @@ class ScenarioRunner:
                 self.fabric.undrain(event.switch)
                 current.undrains += 1
                 self.fabric.metrics.inc("scenario.undrains")
+            elif event.kind == "reoptimize":
+                reopt = self.fabric.reoptimize(mode="greedy")
+                current.reoptimizes += 1
+                if reopt.migration is not None:
+                    current.reopt_moves += reopt.migration.executed
+                self.fabric.metrics.inc("scenario.reoptimizes")
             else:
                 result = self.engine.apply(event.to_churn_event())
                 current.churn.results.append((event, result))

@@ -201,8 +201,11 @@ def test_drain_then_undrain(fabric):
 def test_summary_shape(fabric):
     fabric.admit(chain(1))
     summary = fabric.summary()
-    assert set(summary) == {"switches", "links", "tenants", "stitched_tenants"}
+    assert set(summary) == {
+        "switches", "links", "tenants", "stitched_tenants", "globalopt"
+    }
     assert summary["tenants"] == 1 and summary["stitched_tenants"] == 0
+    assert summary["globalopt"]["runs"] == 0
     assert len(summary["switches"]) == 4
     assert len(summary["links"]) == 6
     home = fabric.tenants[1].switches[0]

@@ -1,0 +1,91 @@
+"""Shared fixtures for the global re-optimizer suite: a tight 4-switch
+fabric and the deterministic fragmentation recipe (fillers to the
+bandwidth brim, long chains that must stitch, one filler evicted per
+switch so re-optimization has room to consolidate)."""
+
+import pytest
+
+from repro.core.spec import SFC, SwitchSpec
+from repro.fabric import FabricOrchestrator, FabricTopology
+
+#: 8 fillers per switch = 57.6 of 60 Gbps: the 2.4 Gbps left is less than
+#: the 4.0 Gbps a len-5 chain needs single-home (two passes) but more than
+#: the 2.0 Gbps each stitched half needs (one pass each).
+FILLER_BW = 7.2
+
+
+def chain(
+    tenant_id: int,
+    nf_types=(1, 2, 3),
+    rules=(10, 10, 10),
+    bandwidth_gbps: float = 1.0,
+) -> SFC:
+    """A small deterministic chain request for tenant ``tenant_id``."""
+    return SFC(
+        name=f"tenant-{tenant_id}",
+        nf_types=tuple(nf_types),
+        rules=tuple(rules),
+        bandwidth_gbps=bandwidth_gbps,
+        tenant_id=tenant_id,
+    )
+
+
+def make_fabric(
+    num_switches: int = 4, with_dataplane: bool = False, **kwargs
+) -> FabricOrchestrator:
+    """The durability sweep's fabric: 4 stages x 6 blocks, 60 Gbps."""
+    spec = SwitchSpec(
+        stages=4,
+        blocks_per_stage=6,
+        block_bits=6400,
+        rule_bits=64,
+        capacity_gbps=60.0,
+    )
+    topology = FabricTopology.full_mesh(
+        num_switches, spec=spec, link_capacity_gbps=100.0, max_recirculations=1
+    )
+    return FabricOrchestrator(
+        topology, num_types=6, with_dataplane=with_dataplane, **kwargs
+    )
+
+
+def fragment(fabric: FabricOrchestrator) -> list[int]:
+    """Deterministically fragment the fleet; returns the ids of the long
+    chains that were admitted stitched."""
+    fillers = []
+    tenant_id = 1
+    while True:
+        result = fabric.admit(
+            chain(tenant_id, nf_types=(1,), rules=(1,), bandwidth_gbps=FILLER_BW)
+        )
+        if not result.ok:
+            break
+        fillers.append((tenant_id, result.switches[0]))
+        tenant_id += 1
+    stitched = []
+    for k in range(4):
+        result = fabric.admit(
+            chain(
+                500 + k,
+                nf_types=(1, 2, 3, 4, 5),
+                rules=(4,) * 5,
+                bandwidth_gbps=2.0,
+            )
+        )
+        if result.ok and len(result.switches) > 1:
+            stitched.append(500 + k)
+    seen: set[str] = set()
+    for filler_id, switch in fillers:
+        if switch not in seen:
+            seen.add(switch)
+            fabric.evict(filler_id)
+    return stitched
+
+
+@pytest.fixture
+def fragmented():
+    """A control-plane-only fragmented fleet and its stitched tenant ids."""
+    fabric = make_fabric()
+    stitched = fragment(fabric)
+    assert len(stitched) >= 2
+    return fabric, stitched

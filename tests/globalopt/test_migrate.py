@@ -1,0 +1,195 @@
+"""Hitless execution against a live fabric: make-before-break unstitches,
+probe-before-teardown, skip conditions, and transactional rollback."""
+
+from repro.core.state import stable_digest
+from repro.globalopt.migrate import execute_plan, execute_step
+from repro.globalopt.model import TenantPlan, snapshot_fabric
+from repro.globalopt.plan import build_plan
+from repro.globalopt.solver import solve_greedy
+
+from .conftest import chain, fragment, make_fabric
+
+
+def _plan_for(fabric):
+    model = snapshot_fabric(fabric)
+    return model, build_plan(model, solve_greedy(model), min_benefit=0.0)
+
+
+class TestExecutePlan:
+    def test_unstitches_hitlessly_with_dataplane_probes(self):
+        fabric = make_fabric(with_dataplane=True)
+        stitched = fragment(fabric)
+        model, plan = _plan_for(fabric)
+        assert plan.steps
+        report = execute_plan(fabric, plan)
+        assert report.ok
+        assert report.executed == len(plan.steps)
+        for result in report.results:
+            assert result.action == "executed"
+            assert result.probed  # the new path forwarded before teardown
+        for tenant_id in stitched:
+            record = fabric.tenants[tenant_id]
+            assert len({seg.switch for seg in record.segments}) == 1
+            assert fabric.probe_tenant(tenant_id)
+        assert fabric.check_invariant() == []
+
+    def test_control_plane_only_skips_probing(self, fragmented):
+        fabric, _stitched = fragmented
+        _model, plan = _plan_for(fabric)
+        report = execute_plan(fabric, plan)
+        assert report.ok and report.executed
+        assert all(not r.probed for r in report.results)
+        assert fabric.check_invariant() == []
+
+    def test_migration_metrics_are_counted(self, fragmented):
+        fabric, _stitched = fragmented
+        _model, plan = _plan_for(fabric)
+        report = execute_plan(fabric, plan)
+        counters = fabric.metrics.snapshot()["counters"]
+        assert counters.get("globalopt.moves_executed", 0) == report.executed
+        per_tenant = [
+            name
+            for name in counters
+            if name.startswith("globalopt.migrations.tenant.")
+        ]
+        assert len(per_tenant) == report.executed
+
+
+class TestSkips:
+    def test_departed_tenant_is_skipped(self, fragmented):
+        fabric, stitched = fragmented
+        _model, plan = _plan_for(fabric)
+        victim = plan.steps[0].tenant_id
+        fabric.evict(victim)
+        report = execute_plan(fabric, plan)
+        by_tenant = {r.tenant_id: r for r in report.results}
+        assert by_tenant[victim].action == "skipped"
+        assert by_tenant[victim].reason == "tenant-departed"
+        assert report.ok  # skips do not fail the migration
+
+    def test_changed_chain_is_skipped(self, fragmented):
+        fabric, _stitched = fragmented
+        _model, plan = _plan_for(fabric)
+        victim = plan.steps[0].tenant_id
+        new_chain = chain(
+            victim, nf_types=(1, 2), rules=(1, 1), bandwidth_gbps=0.5
+        )
+        assert fabric.modify(victim, new_chain).ok
+        report = execute_plan(fabric, plan)
+        by_tenant = {r.tenant_id: r for r in report.results}
+        assert by_tenant[victim].action == "skipped"
+        assert by_tenant[victim].reason == "chain-changed"
+
+    def test_no_op_target_is_skipped(self, fragmented):
+        fabric, _stitched = fragmented
+        model = snapshot_fabric(fabric)
+        tenant_id = sorted(model.current)[0]
+        result = execute_step(fabric, model.current[tenant_id])
+        assert result.action == "skipped"
+        assert result.reason == "no-op"
+
+
+class TestRollback:
+    def test_refused_step_leaves_the_fabric_bit_identical(self):
+        """Single-homing a stitched tenant onto a full foreign switch must
+        be refused by the real shard and rolled back completely.  No
+        fillers are evicted here, so every switch is 57.6/60 Gbps full and
+        the 4.0 Gbps single-home demand cannot fit anywhere."""
+        fabric = make_fabric()
+        tenant_id = 1
+        while fabric.admit(
+            chain(tenant_id, nf_types=(1,), rules=(1,), bandwidth_gbps=7.2)
+        ).ok:
+            tenant_id += 1
+        stitched = []
+        for k in range(4):
+            result = fabric.admit(
+                chain(
+                    500 + k, nf_types=(1, 2, 3, 4, 5), rules=(4,) * 5,
+                    bandwidth_gbps=2.0,
+                )
+            )
+            if result.ok and len(result.switches) > 1:
+                stitched.append(500 + k)
+        assert stitched
+        model = snapshot_fabric(fabric)
+        tenant_id = stitched[0]
+        current = model.current[tenant_id]
+        others = [s for s in model.active if s not in current.switches]
+        before = fabric.digest()
+        result = execute_step(
+            fabric,
+            TenantPlan(tenant_id=tenant_id, switches=(others[0],)),
+            expect_sfc_digest=stable_digest(
+                fabric.tenants[tenant_id].sfc.to_dict()
+            ),
+        )
+        assert result.action == "failed"
+        assert "refused" in result.reason
+        assert fabric.digest() == before
+        assert fabric.check_invariant() == []
+        counters = fabric.metrics.snapshot()["counters"]
+        assert counters.get("globalopt.moves_failed", 0) == 1
+
+    def test_failed_step_does_not_abort_the_rest(self):
+        """Room is freed only around the second stitched tenant, so a
+        forged move of the first one onto a still-full switch fails — and
+        the second tenant's real unstitch must still execute after it.
+        Six switches guarantee a full foreign switch exists outside both
+        tenants' homes."""
+        fabric = make_fabric(num_switches=6)
+        fillers = []
+        tenant_id = 1
+        while True:
+            result = fabric.admit(
+                chain(tenant_id, nf_types=(1,), rules=(1,), bandwidth_gbps=7.2)
+            )
+            if not result.ok:
+                break
+            fillers.append((tenant_id, result.switches[0]))
+            tenant_id += 1
+        stitched = []
+        for k in range(4):
+            result = fabric.admit(
+                chain(
+                    500 + k, nf_types=(1, 2, 3, 4, 5), rules=(4,) * 5,
+                    bandwidth_gbps=2.0,
+                )
+            )
+            if result.ok and len(result.switches) > 1:
+                stitched.append(500 + k)
+        assert len(stitched) >= 2
+        homes = {
+            seg.switch for seg in fabric.tenants[stitched[1]].segments
+        }
+        seen: set[str] = set()
+        for filler_id, switch in fillers:
+            if switch in homes and switch not in seen:
+                seen.add(switch)
+                fabric.evict(filler_id)
+
+        model, plan = _plan_for(fabric)
+        bad_tenant = stitched[0]
+        full_foreign = [
+            s
+            for s in model.active
+            if s not in model.current[bad_tenant].switches and s not in homes
+        ]
+        from repro.globalopt.plan import MigrationPlan, MigrationStep
+
+        bad = MigrationStep(
+            tenant_id=bad_tenant,
+            current=model.current[bad_tenant],
+            target=TenantPlan(
+                tenant_id=bad_tenant, switches=(full_foreign[0],)
+            ),
+            benefit=99.0,
+            cost=0.0,
+        )
+        rest = tuple(s for s in plan.steps if s.tenant_id != bad_tenant)
+        assert rest, "expected a real unstitch step for the second tenant"
+        report = execute_plan(fabric, MigrationPlan(steps=(bad,) + rest))
+        assert report.failed == 1
+        assert report.executed == len(rest)
+        assert not report.aborted
+        assert fabric.check_invariant() == []

@@ -1,0 +1,114 @@
+"""End-to-end re-optimization through the orchestrator, the drift-gated
+cadence, the telemetry counters on the Prometheus page, and the frontend's
+``POST /v1/reoptimize`` endpoint."""
+
+import pytest
+
+from repro.errors import FrontendError
+from repro.frontend import FrontendServer, HttpFrontendClient
+from repro.telemetry.export import render_prometheus
+
+from .conftest import chain, fragment, make_fabric
+
+
+class TestOrchestrator:
+    def test_reoptimize_consolidates_a_fragmented_fleet(self, fragmented):
+        fabric, stitched = fragmented
+        report = fabric.reoptimize(mode="greedy")
+        assert report.ok
+        assert report.stitched_before == len(stitched)
+        assert report.stitched_after < report.stitched_before
+        assert report.stitch_reduction > 0
+        assert report.links_after < report.links_before
+        assert fabric.check_invariant() == []
+        summary = report.summary()
+        assert summary["invariant_ok"]
+        assert summary["stitch_reduction"] == report.stitch_reduction
+        assert "reoptimize[greedy]" in report.describe()
+
+    def test_dry_run_touches_nothing(self, fragmented):
+        fabric, stitched = fragmented
+        before = fabric.digest()
+        report = fabric.reoptimize(mode="greedy", execute=False)
+        assert not report.executed
+        assert report.migration is None
+        assert report.moves_planned > 0
+        assert report.stitched_after == report.stitched_before
+        assert fabric.digest() == before
+
+    def test_maybe_reoptimize_gates_on_churn_and_fragmentation(self):
+        fabric = make_fabric()
+        fragment(fabric)
+        # Plenty stitched, but not enough lifecycle churn yet.
+        assert fabric.maybe_reoptimize(min_interval_ops=10_000) is None
+        # Churn passed and the fleet is fragmented: the pass runs.
+        report = fabric.maybe_reoptimize(min_interval_ops=0, mode="greedy")
+        assert report is not None and report.ok
+        # Defragmented now: the stitched gate holds (and resets the clock).
+        assert fabric.maybe_reoptimize(min_interval_ops=0) is None
+
+    def test_maybe_reoptimize_gates_on_stitched_count(self):
+        fabric = make_fabric()
+        for t in range(1, 5):
+            assert fabric.admit(chain(t)).ok
+        assert fabric.maybe_reoptimize(min_interval_ops=0) is None
+
+
+class TestTelemetry:
+    def test_counters_reach_the_prometheus_page(self, fragmented):
+        fabric, _stitched = fragmented
+        report = fabric.reoptimize(mode="greedy")
+        assert report.ok and report.migration is not None
+        page = render_prometheus(fabric.metrics)
+        assert "sfp_globalopt_runs_total 1" in page
+        assert (
+            f"sfp_globalopt_moves_planned_total {report.moves_planned}"
+            in page
+        )
+        assert (
+            f"sfp_globalopt_moves_executed_total {report.migration.executed}"
+            in page
+        )
+        assert "sfp_globalopt_solve_s_count 1" in page
+        assert 'sfp_globalopt_solve_s_bucket{le="+Inf"} 1' in page
+        assert "sfp_globalopt_step_s_count" in page
+        assert "sfp_globalopt_migrations_tenant_" in page
+
+    def test_skipped_moves_are_counted(self, fragmented):
+        fabric, _stitched = fragmented
+        fabric.reoptimize(mode="greedy", max_moves=0)
+        counters = fabric.metrics.snapshot()["counters"]
+        assert counters.get("globalopt.moves_skipped", 0) > 0
+        assert counters.get("globalopt.moves_executed", 0) == 0
+
+
+class TestFrontend:
+    @pytest.fixture
+    def served(self, fragmented):
+        fabric, stitched = fragmented
+        server = FrontendServer(fabric, port=0).start()
+        try:
+            yield HttpFrontendClient(server.url, timeout=10.0), stitched
+        finally:
+            server.close(timeout=10.0)
+
+    def test_post_reoptimize_runs_a_pass(self, served):
+        client, stitched = served
+        body = client.reoptimize(mode="greedy")
+        assert body["ok"]
+        assert body["stitched_before"] == len(stitched)
+        assert body["stitch_reduction"] > 0
+        assert body["moves_executed"] == body["stitch_reduction"]
+
+    def test_post_reoptimize_dry_run(self, served):
+        client, stitched = served
+        body = client.reoptimize(mode="greedy", execute=False)
+        assert body["ok"]
+        assert not body["executed"]
+        assert body["moves_planned"] > 0
+        assert body["stitched_after"] == len(stitched)
+
+    def test_bad_mode_is_a_client_error(self, served):
+        client, _stitched = served
+        with pytest.raises(FrontendError, match="-> 400"):
+            client.reoptimize(mode="tabu-search")
